@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the substrates: code construction, schedule
+//! generation, baseline and Cyclone compilation, BP+OSD decoding, and Pauli-frame
+//! sampling. These measure the library's own performance (not the simulated hardware
+//! times of the figure benches).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cyclone::{CycloneCodesign, CycloneConfig};
+use decoder::bposd::BpOsdDecoder;
+use decoder::pauli::{CircuitNoise, PauliFrameSimulator};
+use qccd::compiler::baseline::compile_baseline;
+use qccd::timing::OperationTimes;
+use qccd::topology::baseline_grid;
+use qec::codes::{bb_72_12_6, hgp_225_9_6};
+use qec::schedule::{max_parallel_schedule, parallel_xz_schedule, serial_schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_code_construction(c: &mut Criterion) {
+    c.bench_function("construct bb_72_12_6", |b| {
+        b.iter(|| bb_72_12_6().expect("valid"))
+    });
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let code = bb_72_12_6().expect("valid");
+    c.bench_function("max_parallel_schedule bb72", |b| {
+        b.iter(|| max_parallel_schedule(&code))
+    });
+}
+
+fn bench_cyclone_compile(c: &mut Criterion) {
+    let code = hgp_225_9_6().expect("valid");
+    let times = OperationTimes::default();
+    c.bench_function("cyclone compile hgp225", |b| {
+        b.iter(|| CycloneCodesign::new(&code, CycloneConfig::base()).compile(&times))
+    });
+}
+
+fn bench_baseline_compile(c: &mut Criterion) {
+    let code = bb_72_12_6().expect("valid");
+    let times = OperationTimes::default();
+    let topo = baseline_grid(code.num_qubits(), 5);
+    let sched = serial_schedule(&code);
+    c.bench_function("baseline compile bb72", |b| {
+        b.iter(|| compile_baseline(&code, &topo, &times, &sched))
+    });
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let code = bb_72_12_6().expect("valid");
+    let decoder = BpOsdDecoder::new(code.hz(), 30);
+    let n = code.num_qubits();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("bp+osd decode bb72 p=1e-2", |b| {
+        b.iter_batched(
+            || {
+                let e: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.01)).collect();
+                code.z_syndrome(&e)
+            },
+            |syndrome| decoder.decode(&syndrome, 0.01),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pauli_frame(c: &mut Criterion) {
+    let code = bb_72_12_6().expect("valid");
+    let sched = parallel_xz_schedule(&code);
+    let sim = PauliFrameSimulator::new(&code, &sched, CircuitNoise::uniform(1e-3));
+    let mut rng = StdRng::seed_from_u64(2);
+    c.bench_function("pauli frame round bb72", |b| {
+        b.iter(|| sim.simulate_fresh_round(&mut rng))
+    });
+}
+
+criterion_group!(
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_code_construction,
+        bench_schedules,
+        bench_cyclone_compile,
+        bench_baseline_compile,
+        bench_decoder,
+        bench_pauli_frame
+);
+criterion_main!(substrates);

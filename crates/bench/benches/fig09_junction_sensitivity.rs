@@ -1,0 +1,39 @@
+//! Fig. 9 — logical error rate of the mesh junction network as junction crossing times
+//! are reduced, against the baseline grid reference (the paper finds the crossover at
+//! roughly a 70% reduction).
+
+use bench::{memory_config, ms, sci, sensitivity_code, Table};
+use cyclone::experiments::fig9_junction_sensitivity;
+
+fn main() {
+    let code = sensitivity_code();
+    let config = memory_config();
+    let reductions = [0.0, 0.3, 0.5, 0.7, 0.9];
+    let rows = fig9_junction_sensitivity(&code, 5e-4, &reductions, &config);
+    let mut table = Table::new(&[
+        "junction time reduction",
+        "mesh exec (ms)",
+        "mesh LER",
+        "baseline LER",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:.0}%", r.reduction * 100.0),
+            ms(r.mesh_execution_time),
+            sci(r.mesh_ler.ler),
+            sci(r.baseline_ler.ler),
+        ]);
+    }
+    table.print(&format!(
+        "Fig. 9: mesh-junction-network sensitivity to junction crossing time ({})",
+        code.descriptor()
+    ));
+    if let Some(cross) = rows.iter().find(|r| r.mesh_ler.ler <= r.baseline_ler.ler) {
+        println!(
+            "\nmesh network first beats the baseline at a {:.0}% junction-time reduction",
+            cross.reduction * 100.0
+        );
+    } else {
+        println!("\nmesh network never beats the baseline in this sweep");
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 13 — Cyclone sensitivity to the trap count / ion capacity trade-off on the
+//! `[[225,9,6]]` code at `p = 10⁻⁴` ("tight" architectures).
+
+use bench::{memory_config, ms, sci, sensitivity_code, Table};
+use cyclone::experiments::fig13_trap_capacity_sweep;
+use cyclone::default_trap_counts;
+
+fn main() {
+    let code = sensitivity_code();
+    let config = memory_config();
+    let counts = default_trap_counts(&code);
+    let rows = fig13_trap_capacity_sweep(&code, 1e-4, &counts, &config);
+    let mut table = Table::new(&["traps", "capacity", "exec (ms)", "LER @ p=1e-4"]);
+    for r in &rows {
+        table.row(vec![
+            r.num_traps.to_string(),
+            r.trap_capacity.to_string(),
+            ms(r.execution_time),
+            sci(r.ler.ler),
+        ]);
+    }
+    table.print(&format!(
+        "Fig. 13: Cyclone trap/ion-capacity sensitivity ({})",
+        code.descriptor()
+    ));
+    if let Some(best) = rows.iter().min_by(|a, b| a.execution_time.total_cmp(&b.execution_time)) {
+        println!(
+            "\nfastest configuration: {} traps with capacity {} ({} ms)",
+            best.num_traps,
+            best.trap_capacity,
+            ms(best.execution_time)
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 21 — sensitivity to the swap implementation (GateSwap vs IonSwap) for the
+//! baseline and for Cyclone on the `[[225,9,6]]` code.
+
+use bench::{ms, sensitivity_code, Table};
+use cyclone::experiments::fig21_swap_sensitivity;
+
+fn main() {
+    let code = sensitivity_code();
+    let rows = fig21_swap_sensitivity(&code);
+    let mut table = Table::new(&["codesign", "swap kind", "exec (ms)"]);
+    for r in rows {
+        table.row(vec![r.codesign, r.swap_kind, ms(r.execution_time)]);
+    }
+    table.print(&format!(
+        "Fig. 21: GateSwap vs IonSwap sensitivity ({})",
+        code.descriptor()
+    ));
+}

@@ -1,0 +1,245 @@
+//! Shared infrastructure for the benchmark harness that regenerates every table and
+//! figure of the paper.
+//!
+//! Each figure has its own `harness = false` bench target under `benches/`; they all
+//! use the helpers here for code selection, Monte-Carlo configuration, and aligned
+//! table / CSV output.
+//!
+//! Environment variables:
+//!
+//! * `CYCLONE_SHOTS` — Monte-Carlo shots per LER point (default 400; the paper samples
+//!   until `> 10 / LER` shots, which is far more than a CI run should attempt).
+//! * `CYCLONE_FULL` — set to `1` to run the full code catalog (including
+//!   `[[625,25,8]]` and `[[144,12,12]]`) instead of the quick subset.
+//! * `CYCLONE_CSV` — set to `1` to print comma-separated values instead of aligned
+//!   text.
+
+use decoder::memory::MemoryConfig;
+use qec::codes::{self, CatalogEntry};
+use qec::CssCode;
+
+/// Number of Monte-Carlo shots per logical-error-rate point, honoring `CYCLONE_SHOTS`.
+pub fn shots() -> usize {
+    std::env::var("CYCLONE_SHOTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400)
+}
+
+/// Whether to run the full (slow) code catalog, honoring `CYCLONE_FULL`.
+pub fn full_run() -> bool {
+    std::env::var("CYCLONE_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Whether to emit CSV instead of an aligned table, honoring `CYCLONE_CSV`.
+pub fn csv_output() -> bool {
+    std::env::var("CYCLONE_CSV").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The Monte-Carlo configuration used by every LER bench.
+pub fn memory_config() -> MemoryConfig {
+    MemoryConfig {
+        shots: shots(),
+        bp_iterations: 30,
+        threads: 0,
+        seed: 0xC1C1_0DE5,
+    }
+}
+
+/// The physical-error-rate grid used by the LER sweeps (Figs. 14 and 15).
+pub fn error_rate_grid() -> Vec<f64> {
+    vec![1e-4, 2e-4, 5e-4, 1e-3, 2e-3]
+}
+
+/// HGP codes used by the benches: `[[100,4,4]]` and `[[225,9,6]]` by default, the
+/// full catalog (adding `[[400,16,6]]` and `[[625,25,8]]`) with `CYCLONE_FULL=1`.
+///
+/// # Panics
+///
+/// Panics if the deterministic code constructions fail (they do not).
+pub fn hgp_codes() -> Vec<CssCode> {
+    if full_run() {
+        codes::hgp_catalog()
+            .expect("catalog construction")
+            .into_iter()
+            .map(|e| e.code)
+            .collect()
+    } else {
+        vec![
+            codes::hgp_100().expect("construction"),
+            codes::hgp_225_9_6().expect("construction"),
+        ]
+    }
+}
+
+/// BB codes used by the benches: `[[72,12,6]]` and `[[90,8,10]]` by default, the full
+/// catalog (adding `[[108,8,10]]` and `[[144,12,12]]`) with `CYCLONE_FULL=1`.
+///
+/// # Panics
+///
+/// Panics if the deterministic code constructions fail (they do not).
+pub fn bb_codes() -> Vec<CssCode> {
+    if full_run() {
+        codes::bb_catalog()
+            .expect("catalog construction")
+            .into_iter()
+            .map(|e| e.code)
+            .collect()
+    } else {
+        vec![
+            codes::bb_72_12_6().expect("construction"),
+            codes::bb_90_8_10().expect("construction"),
+        ]
+    }
+}
+
+/// The full labelled catalog (both families), honoring `CYCLONE_FULL`.
+///
+/// # Panics
+///
+/// Panics if the deterministic code constructions fail (they do not).
+pub fn catalog() -> Vec<CatalogEntry> {
+    if full_run() {
+        codes::full_catalog().expect("catalog construction")
+    } else {
+        let mut entries = Vec::new();
+        for code in hgp_codes() {
+            entries.push(CatalogEntry {
+                family: codes::CodeFamily::Hgp,
+                label: code.descriptor(),
+                code,
+            });
+        }
+        for code in bb_codes() {
+            entries.push(CatalogEntry {
+                family: codes::CodeFamily::Bb,
+                label: code.descriptor(),
+                code,
+            });
+        }
+        entries
+    }
+}
+
+/// The `[[225,9,6]]` code used by most single-code sensitivity studies.
+///
+/// # Panics
+///
+/// Panics if the deterministic construction fails (it does not).
+pub fn sensitivity_code() -> CssCode {
+    codes::hgp_225_9_6().expect("construction")
+}
+
+/// A simple column-aligned (or CSV) table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must have the same arity as the headers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table, honoring `CYCLONE_CSV`.
+    pub fn render(&self) -> String {
+        if csv_output() {
+            let mut out = self.headers.join(",");
+            out.push('\n');
+            for row in &self.rows {
+                out.push_str(&row.join(","));
+                out.push('\n');
+            }
+            return out;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout with a title line.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a duration in seconds as milliseconds with two decimals.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.2}", seconds * 1e3)
+}
+
+/// Formats a probability in scientific notation.
+pub fn sci(p: f64) -> String {
+    format!("{p:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("long header"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn defaults_are_reasonable() {
+        assert!(shots() > 0);
+        assert_eq!(error_rate_grid().len(), 5);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(ms(0.001), "1.00");
+        assert!(sci(1.5e-3).contains('e'));
+    }
+}

@@ -1,0 +1,687 @@
+//! Experiment runners that regenerate every figure of the paper's evaluation.
+//!
+//! Each function returns plain data rows; the `bench` crate's binaries print them as
+//! the tables/series of the corresponding figure, and `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison. All Monte-Carlo experiments take an explicit
+//! [`MemoryConfig`] so shot counts can be scaled from quick smoke runs to
+//! publication-quality sampling.
+
+use crate::codesign::{CycloneCodesign, CycloneConfig};
+use decoder::memory::{logical_error_rate, LerEstimate, MemoryConfig};
+use qccd::compiler::baseline::{compile_baseline, compile_baseline_with_placement};
+use qccd::compiler::dynamic::compile_dynamic;
+use qccd::compiler::variants::{compile_baseline2, compile_baseline3};
+use qccd::compiler::CompiledRound;
+use qccd::placement::greedy_cluster_placement;
+use qccd::timing::{OperationTimes, SwapKind};
+use qccd::topology::{alternate_grid, baseline_grid, mesh_junction_network, ring};
+use qccd::wiring::wiring_cost;
+use qec::codes::CatalogEntry;
+use qec::schedule::{max_parallel_schedule, parallel_speedup, serial_schedule};
+use qec::CssCode;
+use serde::{Deserialize, Serialize};
+
+/// Default per-trap capacity of the baseline grid (the paper's value).
+pub const BASELINE_CAPACITY: usize = 5;
+
+/// Compiles the baseline codesign (grid + greedy cluster mapping + static EJF) for a
+/// code with the given operation times.
+pub fn baseline_round(code: &CssCode, times: &OperationTimes) -> CompiledRound {
+    let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
+    compile_baseline(code, &topo, times, &serial_schedule(code))
+}
+
+/// Compiles the base Cyclone codesign for a code with the given operation times.
+pub fn cyclone_round(code: &CssCode, times: &OperationTimes) -> CompiledRound {
+    CycloneCodesign::new(code, CycloneConfig::base()).compile(times)
+}
+
+/// Estimates the logical error rate of a code whose syndrome-extraction round takes
+/// `round.execution_time` seconds, at physical error rate `p`.
+pub fn ler_for_round(
+    code: &CssCode,
+    round: &CompiledRound,
+    p: f64,
+    config: &MemoryConfig,
+) -> LerEstimate {
+    logical_error_rate(code, p, round.execution_time, config)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 3 — idealized parallel vs serial speedup
+// ---------------------------------------------------------------------------
+
+/// One bar of Fig. 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupRow {
+    /// Code label, e.g. `"[[144,12,12]]"`.
+    pub code: String,
+    /// Code family name (`"HGP"` or `"BB"`).
+    pub family: String,
+    /// Depth of the fully serial schedule (= gate count).
+    pub serial_depth: usize,
+    /// Depth of the maximally parallel schedule.
+    pub parallel_depth: usize,
+    /// Serial / parallel depth ratio.
+    pub speedup: f64,
+}
+
+/// Fig. 3: speedup of the maximally parallel schedule over the fully serial one.
+pub fn fig3_parallel_speedup(catalog: &[CatalogEntry]) -> Vec<SpeedupRow> {
+    catalog
+        .iter()
+        .map(|entry| {
+            let serial = serial_schedule(&entry.code);
+            let parallel = max_parallel_schedule(&entry.code);
+            SpeedupRow {
+                code: entry.label.clone(),
+                family: entry.family.to_string(),
+                serial_depth: serial.depth(),
+                parallel_depth: parallel.depth(),
+                speedup: parallel_speedup(&entry.code),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — LER improvement when the baseline is sped up
+// ---------------------------------------------------------------------------
+
+/// One point of Fig. 5: the baseline's LER when its latency is divided by `speedup`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyLerRow {
+    /// Code label.
+    pub code: String,
+    /// Latency division factor (1 = the baseline as compiled).
+    pub speedup: f64,
+    /// Round latency in seconds after the division.
+    pub latency: f64,
+    /// Estimated logical error rate.
+    pub ler: LerEstimate,
+}
+
+/// Fig. 5: LER of each code as the compiled baseline latency is divided by the given
+/// factors, at fixed physical error rate `p`.
+pub fn fig5_latency_vs_ler(
+    codes: &[CssCode],
+    p: f64,
+    speedups: &[f64],
+    config: &MemoryConfig,
+) -> Vec<LatencyLerRow> {
+    let times = OperationTimes::default();
+    let mut rows = Vec::new();
+    for code in codes {
+        let base = baseline_round(code, &times);
+        for &s in speedups {
+            let latency = base.execution_time / s;
+            rows.push(LatencyLerRow {
+                code: code.descriptor(),
+                speedup: s,
+                latency,
+                ler: logical_error_rate(code, p, latency, config),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6 — software × hardware confusion matrix
+// ---------------------------------------------------------------------------
+
+/// The four cells of the Fig. 6 confusion matrix (execution times in seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Code label.
+    pub code: String,
+    /// Grid hardware + static EJF software (the baseline).
+    pub grid_static: f64,
+    /// Grid hardware + dynamic timeslice software.
+    pub grid_dynamic: f64,
+    /// Circle hardware + static EJF software.
+    pub circle_static: f64,
+    /// Circle hardware + coordinated dynamic software (Cyclone).
+    pub circle_dynamic: f64,
+}
+
+/// Fig. 6: execution time of every software/hardware combination.
+pub fn fig6_confusion_matrix(code: &CssCode, times: &OperationTimes) -> ConfusionMatrix {
+    let grid = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
+    let grid_static = compile_baseline(code, &grid, times, &serial_schedule(code)).execution_time;
+    let grid_dynamic =
+        compile_dynamic(code, &grid, times, &max_parallel_schedule(code)).execution_time;
+    let a = code.num_x_stabilizers().max(code.num_z_stabilizers());
+    let capacity = code.num_qubits().div_ceil(a) + 2;
+    let circle = ring(a, capacity);
+    let circle_static =
+        compile_baseline(code, &circle, times, &serial_schedule(code)).execution_time;
+    let circle_dynamic = cyclone_round(code, times).execution_time;
+    ConfusionMatrix {
+        code: code.descriptor(),
+        grid_static,
+        grid_dynamic,
+        circle_static,
+        circle_dynamic,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — junction-crossing-time sensitivity of the mesh junction network
+// ---------------------------------------------------------------------------
+
+/// One point of Fig. 9.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JunctionSensitivityRow {
+    /// Fractional reduction of junction crossing times (0 = nominal).
+    pub reduction: f64,
+    /// Mesh-junction-network execution time, seconds.
+    pub mesh_execution_time: f64,
+    /// Mesh-junction-network LER at the configured `p`.
+    pub mesh_ler: LerEstimate,
+    /// Baseline-grid LER at the same `p` (horizontal reference line).
+    pub baseline_ler: LerEstimate,
+}
+
+/// Fig. 9: LER of the mesh junction network as junction crossing times are reduced,
+/// against the baseline grid reference.
+pub fn fig9_junction_sensitivity(
+    code: &CssCode,
+    p: f64,
+    reductions: &[f64],
+    config: &MemoryConfig,
+) -> Vec<JunctionSensitivityRow> {
+    let nominal = OperationTimes::default();
+    let base = baseline_round(code, &nominal);
+    let baseline_ler = logical_error_rate(code, p, base.execution_time, config);
+    let mesh = mesh_junction_network(code.num_qubits(), BASELINE_CAPACITY);
+    reductions
+        .iter()
+        .map(|&r| {
+            let times = nominal.with_junction_reduction(r);
+            let round = compile_dynamic(code, &mesh, &times, &max_parallel_schedule(code));
+            JunctionSensitivityRow {
+                reduction: r,
+                mesh_execution_time: round.execution_time,
+                mesh_ler: logical_error_rate(code, p, round.execution_time, config),
+                baseline_ler,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — trap-count / ion-capacity sensitivity of Cyclone
+// ---------------------------------------------------------------------------
+
+/// One point of Fig. 13.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrapSensitivityRow {
+    /// Number of traps.
+    pub num_traps: usize,
+    /// Tight trap capacity for this configuration.
+    pub trap_capacity: usize,
+    /// Cyclone execution time, seconds.
+    pub execution_time: f64,
+    /// LER at the configured physical error rate.
+    pub ler: LerEstimate,
+}
+
+/// Fig. 13: Cyclone execution time and LER across "tight" trap/capacity arrangements
+/// at fixed `p` (the paper uses `p = 10⁻⁴` on the `[[225,9,6]]` code).
+pub fn fig13_trap_capacity_sweep(
+    code: &CssCode,
+    p: f64,
+    trap_counts: &[usize],
+    config: &MemoryConfig,
+) -> Vec<TrapSensitivityRow> {
+    let times = OperationTimes::default();
+    trap_counts
+        .iter()
+        .map(|&x| {
+            let design = CycloneCodesign::new(code, CycloneConfig::with_traps(x));
+            let round = design.compile(&times);
+            TrapSensitivityRow {
+                num_traps: design.num_traps(),
+                trap_capacity: design.trap_capacity(),
+                execution_time: round.execution_time,
+                ler: logical_error_rate(code, p, round.execution_time, config),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 14 & 15 — LER: Cyclone vs baseline across physical error rates
+// ---------------------------------------------------------------------------
+
+/// One point of the Fig. 14/15 LER comparison curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LerComparisonRow {
+    /// Code label.
+    pub code: String,
+    /// Physical error rate.
+    pub p: f64,
+    /// Baseline round latency, seconds.
+    pub baseline_latency: f64,
+    /// Cyclone round latency, seconds.
+    pub cyclone_latency: f64,
+    /// Baseline LER estimate.
+    pub baseline_ler: LerEstimate,
+    /// Cyclone LER estimate.
+    pub cyclone_ler: LerEstimate,
+}
+
+/// Figs. 14 (BB codes) and 15 (HGP codes): logical error rate of Cyclone vs the
+/// baseline across a sweep of physical error rates.
+pub fn ler_comparison(
+    codes: &[CssCode],
+    ps: &[f64],
+    config: &MemoryConfig,
+) -> Vec<LerComparisonRow> {
+    let times = OperationTimes::default();
+    let mut rows = Vec::new();
+    for code in codes {
+        let base = baseline_round(code, &times);
+        let cyc = cyclone_round(code, &times);
+        for &p in ps {
+            rows.push(LerComparisonRow {
+                code: code.descriptor(),
+                p,
+                baseline_latency: base.execution_time,
+                cyclone_latency: cyc.execution_time,
+                baseline_ler: logical_error_rate(code, p, base.execution_time, config),
+                cyclone_ler: logical_error_rate(code, p, cyc.execution_time, config),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16 — spacetime cost
+// ---------------------------------------------------------------------------
+
+/// One bar pair of Fig. 16.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpacetimeRow {
+    /// Code label.
+    pub code: String,
+    /// Baseline spacetime cost (traps × execution time × ancillas).
+    pub baseline_spacetime: f64,
+    /// Cyclone spacetime cost.
+    pub cyclone_spacetime: f64,
+    /// Baseline / Cyclone ratio (the paper reports up to ~20×).
+    pub improvement: f64,
+}
+
+/// Fig. 16: relative spacetime cost of the baseline vs base Cyclone.
+pub fn fig16_spacetime(codes: &[CssCode], times: &OperationTimes) -> Vec<SpacetimeRow> {
+    codes
+        .iter()
+        .map(|code| {
+            let base = baseline_round(code, times);
+            let cyc = cyclone_round(code, times);
+            let b = base.spacetime_cost();
+            let c = cyc.spacetime_cost();
+            SpacetimeRow {
+                code: code.descriptor(),
+                baseline_spacetime: b,
+                cyclone_spacetime: c,
+                improvement: b / c,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 — baseline sensitivity to loose (excess) trap capacity
+// ---------------------------------------------------------------------------
+
+/// One point of Fig. 17.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LooseCapacityRow {
+    /// Per-trap ion capacity given to the baseline grid.
+    pub capacity: usize,
+    /// Baseline execution time, seconds.
+    pub execution_time: f64,
+    /// Baseline LER at the configured `p`.
+    pub ler: LerEstimate,
+}
+
+/// Fig. 17: the baseline's LER when its traps are given excess capacity.
+pub fn fig17_loose_capacity(
+    code: &CssCode,
+    p: f64,
+    capacities: &[usize],
+    config: &MemoryConfig,
+) -> Vec<LooseCapacityRow> {
+    let times = OperationTimes::default();
+    capacities
+        .iter()
+        .map(|&cap| {
+            let topo = baseline_grid(code.num_qubits(), cap);
+            let placement = greedy_cluster_placement(code, &topo);
+            let round =
+                compile_baseline_with_placement(code, &topo, &times, &serial_schedule(code), &placement);
+            LooseCapacityRow {
+                capacity: cap,
+                execution_time: round.execution_time,
+                ler: logical_error_rate(code, p, round.execution_time, config),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 18 — sensitivity to uniformly faster gates and shuttling
+// ---------------------------------------------------------------------------
+
+/// One point of Fig. 18.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpTimeSweepRow {
+    /// Fractional reduction `r` applied to every gate and shuttling duration.
+    pub reduction: f64,
+    /// Baseline LER at the configured `p`.
+    pub baseline_ler: LerEstimate,
+    /// Cyclone LER at the configured `p`.
+    pub cyclone_ler: LerEstimate,
+    /// Baseline execution time after the reduction, seconds.
+    pub baseline_latency: f64,
+    /// Cyclone execution time after the reduction, seconds.
+    pub cyclone_latency: f64,
+}
+
+/// Fig. 18: LER of baseline and Cyclone as gate and shuttling times are reduced by a
+/// uniform percentage.
+pub fn fig18_op_time_sweep(
+    code: &CssCode,
+    p: f64,
+    reductions: &[f64],
+    config: &MemoryConfig,
+) -> Vec<OpTimeSweepRow> {
+    reductions
+        .iter()
+        .map(|&r| {
+            let times = OperationTimes::default().scaled(r);
+            let base = baseline_round(code, &times);
+            let cyc = cyclone_round(code, &times);
+            OpTimeSweepRow {
+                reduction: r,
+                baseline_ler: logical_error_rate(code, p, base.execution_time, config),
+                cyclone_ler: logical_error_rate(code, p, cyc.execution_time, config),
+                baseline_latency: base.execution_time,
+                cyclone_latency: cyc.execution_time,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 19 — alternate grid vs baseline vs Cyclone execution times
+// ---------------------------------------------------------------------------
+
+/// One row of Fig. 19.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTimeRow {
+    /// Code label.
+    pub code: String,
+    /// Alternate-grid (L-junction serpentine) execution time, seconds.
+    pub alternate_grid: f64,
+    /// Baseline grid execution time, seconds.
+    pub baseline: f64,
+    /// Base Cyclone execution time, seconds.
+    pub cyclone: f64,
+}
+
+/// Fig. 19: raw execution times on the alternate grid, baseline grid, and Cyclone.
+pub fn fig19_execution_times(codes: &[CssCode], times: &OperationTimes) -> Vec<ExecutionTimeRow> {
+    codes
+        .iter()
+        .map(|code| {
+            let alt = alternate_grid(code.num_qubits(), BASELINE_CAPACITY);
+            let alt_round = compile_baseline(code, &alt, times, &serial_schedule(code));
+            let base = baseline_round(code, times);
+            let cyc = cyclone_round(code, times);
+            ExecutionTimeRow {
+                code: code.descriptor(),
+                alternate_grid: alt_round.execution_time,
+                baseline: base.execution_time,
+                cyclone: cyc.execution_time,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 20 — compiler comparison (baseline / baseline 2 / baseline 3 / Cyclone)
+// ---------------------------------------------------------------------------
+
+/// One compiler's row in Fig. 20.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompilerComparisonRow {
+    /// Compiler label.
+    pub compiler: String,
+    /// Realized execution time, seconds.
+    pub execution_time: f64,
+    /// Fully serialized ("unrolled") total of all components, seconds.
+    pub serialized_total: f64,
+    /// Gate component of the serialized total, seconds.
+    pub gate: f64,
+    /// Shuttling component (split + move + merge + junction), seconds.
+    pub shuttle: f64,
+    /// Swap component, seconds.
+    pub swap: f64,
+    /// Measurement component, seconds.
+    pub measurement: f64,
+    /// Realized parallelization: `serialized_total / execution_time`.
+    pub parallelization: f64,
+}
+
+/// Fig. 20: total and component-wise execution times of the three baseline compilers
+/// and Cyclone on the same code, plus the realized parallelization.
+pub fn fig20_compiler_comparison(code: &CssCode, times: &OperationTimes) -> Vec<CompilerComparisonRow> {
+    let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
+    let sched = serial_schedule(code);
+    let rounds = vec![
+        ("Baseline (EJF)".to_string(), compile_baseline(code, &topo, times, &sched)),
+        ("Baseline 2 (shuttle-muzzled)".to_string(), compile_baseline2(code, &topo, times, &sched)),
+        ("Baseline 3 (MoveLess-style)".to_string(), compile_baseline3(code, &topo, times, &sched)),
+        ("Cyclone".to_string(), cyclone_round(code, times)),
+    ];
+    rounds
+        .into_iter()
+        .map(|(compiler, round)| {
+            let b = round.breakdown;
+            CompilerComparisonRow {
+                compiler,
+                execution_time: round.execution_time,
+                serialized_total: b.serialized_total(),
+                gate: b.gate,
+                shuttle: b.split + b.merge + b.shuttle_move + b.junction + b.rebalance,
+                swap: b.swap,
+                measurement: b.measurement,
+                parallelization: round.effective_parallelism(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 21 — GateSwap vs IonSwap
+// ---------------------------------------------------------------------------
+
+/// One row of Fig. 21.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapSensitivityRow {
+    /// Codesign label (`"baseline"` or `"cyclone"`).
+    pub codesign: String,
+    /// Swap mechanism label.
+    pub swap_kind: String,
+    /// Execution time, seconds.
+    pub execution_time: f64,
+}
+
+/// Fig. 21: execution time of baseline and Cyclone under GateSwap vs IonSwap.
+pub fn fig21_swap_sensitivity(code: &CssCode) -> Vec<SwapSensitivityRow> {
+    let mut rows = Vec::new();
+    for kind in [SwapKind::GateSwap, SwapKind::IonSwap] {
+        let times = OperationTimes::default().with_swap_kind(kind);
+        rows.push(SwapSensitivityRow {
+            codesign: "baseline".to_string(),
+            swap_kind: kind.to_string(),
+            execution_time: baseline_round(code, &times).execution_time,
+        });
+        rows.push(SwapSensitivityRow {
+            codesign: "cyclone".to_string(),
+            swap_kind: kind.to_string(),
+            execution_time: cyclone_round(code, &times).execution_time,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Spatial / control-overhead summary (§IV spatial claims, §VI wiring discussion)
+// ---------------------------------------------------------------------------
+
+/// One row of the spatial-efficiency summary table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialRow {
+    /// Code label.
+    pub code: String,
+    /// Traps in the baseline grid.
+    pub baseline_traps: usize,
+    /// Junctions in the baseline grid.
+    pub baseline_junctions: usize,
+    /// DAC channel groups needed by the baseline.
+    pub baseline_dacs: usize,
+    /// Ancilla qubits used by the baseline (one per stabilizer).
+    pub baseline_ancillas: usize,
+    /// Traps in base Cyclone.
+    pub cyclone_traps: usize,
+    /// Junctions in base Cyclone.
+    pub cyclone_junctions: usize,
+    /// DAC channel groups needed by Cyclone (constant).
+    pub cyclone_dacs: usize,
+    /// Ancilla qubits used by Cyclone (reused between the X and Z rotations).
+    pub cyclone_ancillas: usize,
+}
+
+/// Spatial summary: traps, junctions, DACs, and ancilla counts of baseline vs Cyclone.
+pub fn spatial_summary(codes: &[CssCode]) -> Vec<SpatialRow> {
+    codes
+        .iter()
+        .map(|code| {
+            let grid = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
+            let design = CycloneCodesign::new(code, CycloneConfig::base());
+            let ring_topo = design.topology();
+            SpatialRow {
+                code: code.descriptor(),
+                baseline_traps: grid.num_traps(),
+                baseline_junctions: grid.num_junctions(),
+                baseline_dacs: wiring_cost(&grid, 0).dacs,
+                baseline_ancillas: code.num_stabilizers(),
+                cyclone_traps: ring_topo.num_traps(),
+                cyclone_junctions: ring_topo.num_junctions(),
+                cyclone_dacs: wiring_cost(ring_topo, 0).dacs,
+                cyclone_ancillas: design.num_ancilla(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec::classical::ClassicalCode;
+    use qec::codes::bb_72_12_6;
+    use qec::hgp::square_hypergraph_product;
+
+    fn tiny_hgp() -> CssCode {
+        square_hypergraph_product(&ClassicalCode::repetition(3)).expect("valid")
+    }
+
+    fn quick_config() -> MemoryConfig {
+        MemoryConfig {
+            shots: 60,
+            bp_iterations: 12,
+            threads: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn fig3_rows_have_large_speedups() {
+        let catalog = vec![CatalogEntry {
+            family: qec::codes::CodeFamily::Bb,
+            label: "[[72,12,6]]".into(),
+            code: bb_72_12_6().expect("valid"),
+        }];
+        let rows = fig3_parallel_speedup(&catalog);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].speedup > 10.0);
+        assert_eq!(rows[0].serial_depth, rows[0].parallel_depth * 0 + rows[0].serial_depth);
+    }
+
+    #[test]
+    fn fig6_matrix_orders_as_in_paper() {
+        let code = tiny_hgp();
+        let m = fig6_confusion_matrix(&code, &OperationTimes::default());
+        // Coordinated circle (Cyclone) is the fastest cell; uncoordinated circle the slowest.
+        assert!(m.circle_dynamic < m.grid_static);
+        assert!(m.circle_static > m.circle_dynamic);
+    }
+
+    #[test]
+    fn fig16_spacetime_improvement_positive() {
+        let code = tiny_hgp();
+        let rows = fig16_spacetime(std::slice::from_ref(&code), &OperationTimes::default());
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].improvement > 1.0, "Cyclone should win on spacetime, got {}", rows[0].improvement);
+    }
+
+    #[test]
+    fn fig20_includes_all_four_compilers() {
+        let code = tiny_hgp();
+        let rows = fig20_compiler_comparison(&code, &OperationTimes::default());
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.execution_time > 0.0));
+        assert!(rows.iter().all(|r| r.parallelization >= 1.0));
+    }
+
+    #[test]
+    fn fig21_has_both_swap_kinds() {
+        let code = tiny_hgp();
+        let rows = fig21_swap_sensitivity(&code);
+        assert_eq!(rows.len(), 4);
+        let gate_cyc = rows.iter().find(|r| r.codesign == "cyclone" && r.swap_kind == "GateSwap").unwrap();
+        assert!(gate_cyc.execution_time > 0.0);
+    }
+
+    #[test]
+    fn spatial_summary_shows_cyclone_savings() {
+        let code = bb_72_12_6().expect("valid");
+        let rows = spatial_summary(std::slice::from_ref(&code));
+        let r = &rows[0];
+        assert!(r.cyclone_traps < r.baseline_traps);
+        assert!(r.cyclone_ancillas * 2 == r.baseline_ancillas);
+        assert!(r.cyclone_dacs < r.baseline_dacs);
+    }
+
+    #[test]
+    fn ler_comparison_produces_rows_for_each_p() {
+        let code = tiny_hgp();
+        let rows = ler_comparison(std::slice::from_ref(&code), &[2e-3, 5e-3], &quick_config());
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.cyclone_latency < r.baseline_latency));
+    }
+
+    #[test]
+    fn fig5_latency_rows_cover_speedups() {
+        let code = tiny_hgp();
+        let rows = fig5_latency_vs_ler(std::slice::from_ref(&code), 5e-3, &[1.0, 2.0, 4.0], &quick_config());
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].latency > rows[2].latency);
+    }
+}

@@ -1,0 +1,123 @@
+//! Independent / concurrent loop analysis (§IV-C).
+//!
+//! Cyclone routes every ancilla around a single global loop. One might hope to split
+//! the stabilizers into groups with disjoint data supports and give each group its own
+//! smaller loop executing in parallel. This module checks whether such a split exists
+//! (it does for local topological codes, but not for HGP or BB codes, whose stabilizer
+//! interaction graphs are connected) and quantifies the penalty of forcing a split
+//! anyway: stabilizers that straddle two loops must traverse both, adding shuttling
+//! and destroying the single-loop symmetry.
+
+use qec::{CssCode, StabKind};
+
+/// A reference to one stabilizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StabRef {
+    /// Sector of the stabilizer.
+    pub kind: StabKind,
+    /// Index within its sector.
+    pub index: usize,
+}
+
+/// Groups stabilizers into connected components of the "shares a data qubit" graph.
+///
+/// A result with a single component means no independent loops exist — the case for
+/// every HGP and BB code in the paper.
+pub fn loop_decomposition(code: &CssCode) -> Vec<Vec<StabRef>> {
+    let stabs = code.stabilizers();
+    let m = stabs.len();
+    // Union-find over stabilizers, joined through shared data qubits.
+    let mut parent: Vec<usize> = (0..m).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+    let mut owner_of_qubit: Vec<Option<usize>> = vec![None; code.num_qubits()];
+    for (i, s) in stabs.iter().enumerate() {
+        for &q in &s.support {
+            match owner_of_qubit[q] {
+                None => owner_of_qubit[q] = Some(i),
+                Some(j) => {
+                    let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<usize, Vec<StabRef>> = Default::default();
+    for (i, s) in stabs.iter().enumerate() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(StabRef {
+            kind: s.kind,
+            index: s.index,
+        });
+    }
+    let mut out: Vec<Vec<StabRef>> = groups.into_values().collect();
+    out.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    out
+}
+
+/// Whether the code admits at least two independent loops (disjoint-support stabilizer
+/// groups). HGP and BB codes return `false`.
+pub fn admits_independent_loops(code: &CssCode) -> bool {
+    loop_decomposition(code).len() > 1
+}
+
+/// Counts how many stabilizers would straddle both halves if the data qubits were cut
+/// into two contiguous halves (the natural "split the ring in two" attempt). Straddling
+/// stabilizers force their ancillas to traverse both loops, which is what makes forced
+/// splits slower than the single global loop.
+pub fn straddling_stabilizers_for_even_split(code: &CssCode) -> usize {
+    let half = code.num_qubits() / 2;
+    code.stabilizers()
+        .iter()
+        .filter(|s| {
+            let lo = s.support.iter().any(|&q| q < half);
+            let hi = s.support.iter().any(|&q| q >= half);
+            lo && hi
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec::codes::{bb_72_12_6, hgp_225_9_6};
+    use qec::linalg::BitMat;
+    use qec::CssCode;
+
+    #[test]
+    fn hgp_and_bb_have_single_global_loop() {
+        for code in [hgp_225_9_6().expect("valid"), bb_72_12_6().expect("valid")] {
+            assert!(!admits_independent_loops(&code), "{} unexpectedly splits", code.name());
+            assert_eq!(loop_decomposition(&code).len(), 1);
+        }
+    }
+
+    #[test]
+    fn disconnected_code_splits() {
+        // Two disjoint copies of a 4-qubit check pattern form two independent loops.
+        let hx = BitMat::from_dense(&[vec![1, 1, 0, 0], vec![0, 0, 1, 1]]);
+        let hz = BitMat::from_dense(&[vec![1, 1, 0, 0], vec![0, 0, 1, 1]]);
+        let code = CssCode::new("two-blocks", hx, hz, false, None).expect("valid");
+        assert!(admits_independent_loops(&code));
+        assert_eq!(loop_decomposition(&code).len(), 2);
+    }
+
+    #[test]
+    fn forced_split_straddles_many_stabilizers() {
+        let code = hgp_225_9_6().expect("valid");
+        let straddling = straddling_stabilizers_for_even_split(&code);
+        // Long-range HGP connections mean a large fraction of stabilizers straddle.
+        assert!(
+            straddling * 4 > code.num_stabilizers(),
+            "only {straddling} of {} stabilizers straddle",
+            code.num_stabilizers()
+        );
+    }
+}

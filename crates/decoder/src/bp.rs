@@ -1,0 +1,242 @@
+//! Min-sum belief propagation over a binary Tanner graph.
+//!
+//! [`BeliefPropagation`] implements normalized min-sum flooding BP for syndrome
+//! decoding: given a parity-check matrix `H`, per-bit prior error probabilities, and a
+//! syndrome `s`, it estimates the posterior log-likelihood ratio of each bit being in
+//! error and a hard decision `ê`. If `H·ê = s` the decoder has converged; otherwise
+//! the caller typically falls back to ordered-statistics decoding ([`crate::osd`]).
+
+use crate::sparse::SparseBinMat;
+
+/// Result of a BP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpResult {
+    /// Hard-decision error estimate (one entry per column of `H`).
+    pub error: Vec<bool>,
+    /// Posterior log-likelihood ratios (positive = probably no error).
+    pub llrs: Vec<f64>,
+    /// Whether the hard decision reproduces the syndrome.
+    pub converged: bool,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+/// Normalized min-sum belief propagation decoder.
+#[derive(Debug, Clone)]
+pub struct BeliefPropagation {
+    h: SparseBinMat,
+    max_iterations: usize,
+    /// Min-sum normalization (scaling) factor, typically 0.625–1.0.
+    scale: f64,
+}
+
+impl BeliefPropagation {
+    /// Creates a decoder for the given parity-check matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_iterations` is zero.
+    pub fn new(h: SparseBinMat, max_iterations: usize) -> Self {
+        assert!(max_iterations > 0, "need at least one BP iteration");
+        BeliefPropagation {
+            h,
+            max_iterations,
+            scale: 0.75,
+        }
+    }
+
+    /// Sets the min-sum normalization factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
+        self.scale = scale;
+        self
+    }
+
+    /// The parity-check matrix.
+    pub fn matrix(&self) -> &SparseBinMat {
+        &self.h
+    }
+
+    /// Runs BP for a syndrome with uniform prior error probability `p`.
+    pub fn decode(&self, syndrome: &[bool], p: f64) -> BpResult {
+        let priors = vec![p; self.h.num_cols()];
+        self.decode_with_priors(syndrome, &priors)
+    }
+
+    /// Runs BP with per-bit prior error probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match or a prior is outside `(0, 1)`.
+    pub fn decode_with_priors(&self, syndrome: &[bool], priors: &[f64]) -> BpResult {
+        let m = self.h.num_rows();
+        let n = self.h.num_cols();
+        assert_eq!(syndrome.len(), m, "syndrome length must equal number of checks");
+        assert_eq!(priors.len(), n, "one prior per variable required");
+        let channel_llr: Vec<f64> = priors
+            .iter()
+            .map(|&p| {
+                assert!(p > 0.0 && p < 1.0, "priors must be in (0,1)");
+                ((1.0 - p) / p).ln()
+            })
+            .collect();
+
+        // Messages are indexed by (check, position within the check's support).
+        let mut check_to_var: Vec<Vec<f64>> =
+            (0..m).map(|r| vec![0.0; self.h.row(r).len()]).collect();
+        let mut var_to_check: Vec<Vec<f64>> = (0..m)
+            .map(|r| self.h.row(r).iter().map(|&c| channel_llr[c]).collect())
+            .collect();
+        // For variable-side updates we need, per column, the list of (check, slot).
+        let mut col_slots: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for r in 0..m {
+            for (slot, &c) in self.h.row(r).iter().enumerate() {
+                col_slots[c].push((r, slot));
+            }
+        }
+
+        let mut llrs = channel_llr.clone();
+        let mut error = vec![false; n];
+        for iteration in 1..=self.max_iterations {
+            // Check-node update (min-sum with sign handling and syndrome parity).
+            for r in 0..m {
+                let incoming = &var_to_check[r];
+                let mut total_sign = if syndrome[r] { -1.0f64 } else { 1.0 };
+                let mut min1 = f64::INFINITY;
+                let mut min2 = f64::INFINITY;
+                let mut min1_slot = usize::MAX;
+                for (slot, &msg) in incoming.iter().enumerate() {
+                    if msg < 0.0 {
+                        total_sign = -total_sign;
+                    }
+                    let mag = msg.abs();
+                    if mag < min1 {
+                        min2 = min1;
+                        min1 = mag;
+                        min1_slot = slot;
+                    } else if mag < min2 {
+                        min2 = mag;
+                    }
+                }
+                for (slot, out) in check_to_var[r].iter_mut().enumerate() {
+                    let msg = incoming[slot];
+                    let sign_excl = if msg < 0.0 { -total_sign } else { total_sign };
+                    let mag_excl = if slot == min1_slot { min2 } else { min1 };
+                    *out = self.scale * sign_excl * mag_excl;
+                }
+            }
+            // Variable-node update and hard decision.
+            for c in 0..n {
+                let mut total = channel_llr[c];
+                for &(r, slot) in &col_slots[c] {
+                    total += check_to_var[r][slot];
+                }
+                llrs[c] = total;
+                error[c] = total < 0.0;
+                for &(r, slot) in &col_slots[c] {
+                    var_to_check[r][slot] = total - check_to_var[r][slot];
+                }
+            }
+            if self.h.syndrome(&error) == syndrome {
+                return BpResult {
+                    error,
+                    llrs,
+                    converged: true,
+                    iterations: iteration,
+                };
+            }
+        }
+        BpResult {
+            error,
+            llrs,
+            converged: false,
+            iterations: self.max_iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec::linalg::BitMat;
+
+    fn repetition_check(n: usize) -> SparseBinMat {
+        let rows: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
+        SparseBinMat::from_row_supports(n, rows)
+    }
+
+    #[test]
+    fn zero_syndrome_decodes_to_zero() {
+        let h = repetition_check(7);
+        let bp = BeliefPropagation::new(h.clone(), 20);
+        let result = bp.decode(&vec![false; 6], 0.01);
+        assert!(result.converged);
+        assert!(result.error.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn single_error_recovered() {
+        let h = repetition_check(7);
+        let bp = BeliefPropagation::new(h.clone(), 30);
+        let mut e = vec![false; 7];
+        e[3] = true;
+        let s = h.syndrome(&e);
+        let result = bp.decode(&s, 0.05);
+        assert!(result.converged);
+        assert_eq!(result.error, e);
+    }
+
+    #[test]
+    fn boundary_error_recovered() {
+        let h = repetition_check(5);
+        let bp = BeliefPropagation::new(h.clone(), 30);
+        let mut e = vec![false; 5];
+        e[0] = true;
+        let s = h.syndrome(&e);
+        let result = bp.decode(&s, 0.05);
+        assert!(result.converged);
+        assert_eq!(result.error, e);
+    }
+
+    #[test]
+    fn hamming_code_single_errors() {
+        let hm = BitMat::from_dense(&[
+            vec![1, 0, 1, 0, 1, 0, 1],
+            vec![0, 1, 1, 0, 0, 1, 1],
+            vec![0, 0, 0, 1, 1, 1, 1],
+        ]);
+        let h = SparseBinMat::from_bitmat(&hm);
+        let bp = BeliefPropagation::new(h.clone(), 50);
+        for i in 0..7 {
+            let mut e = vec![false; 7];
+            e[i] = true;
+            let s = h.syndrome(&e);
+            let r = bp.decode(&s, 0.02);
+            assert!(r.converged, "bit {i} did not converge");
+            assert_eq!(h.syndrome(&r.error), s, "bit {i} wrong syndrome");
+        }
+    }
+
+    #[test]
+    fn priors_bias_the_decision() {
+        // Two bits checked by one parity: the syndrome says exactly one is flipped;
+        // the bit with the much larger prior should be chosen.
+        let h = SparseBinMat::from_row_supports(2, vec![vec![0, 1]]);
+        let bp = BeliefPropagation::new(h, 10);
+        let r = bp.decode_with_priors(&[true], &[0.3, 0.001]);
+        assert!(r.converged);
+        assert_eq!(r.error, vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "priors must be in")]
+    fn invalid_prior_rejected() {
+        let h = repetition_check(3);
+        let bp = BeliefPropagation::new(h, 5);
+        let _ = bp.decode_with_priors(&[false, false], &[0.0, 0.5, 0.5]);
+    }
+}

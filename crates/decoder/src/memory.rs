@@ -1,0 +1,266 @@
+//! Monte-Carlo logical-memory experiments.
+//!
+//! [`MemoryExperiment`] estimates the logical error rate (LER) of a CSS code under the
+//! hardware-aware noise model: the compiled execution latency of one syndrome-
+//! extraction round is converted into a decoherence error (Pauli twirling), added to
+//! the base circuit-level error rate, and the resulting effective per-qubit error rate
+//! drives independent X/Z error sampling, BP+OSD decoding, and logical-failure
+//! counting (see DESIGN.md, substitution 3). Sampling is parallelized with crossbeam
+//! scoped threads.
+
+use crate::bposd::BpOsdDecoder;
+use noise::HardwareNoiseModel;
+use parking_lot::Mutex;
+use qec::CssCode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An estimated logical error rate with sampling statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LerEstimate {
+    /// Number of Monte-Carlo shots.
+    pub shots: usize,
+    /// Number of shots in which a logical X or Z error occurred.
+    pub failures: usize,
+    /// Point estimate `failures / shots` (with a half-failure floor when no failure
+    /// was observed, so log-scale plots remain finite).
+    pub ler: f64,
+    /// Binomial standard error of the estimate.
+    pub std_err: f64,
+}
+
+impl LerEstimate {
+    fn from_counts(shots: usize, failures: usize) -> Self {
+        assert!(shots > 0, "need at least one shot");
+        let raw = failures as f64 / shots as f64;
+        let ler = if failures == 0 { 0.5 / shots as f64 } else { raw };
+        let std_err = (raw * (1.0 - raw) / shots as f64).sqrt();
+        LerEstimate {
+            shots,
+            failures,
+            ler,
+            std_err,
+        }
+    }
+
+    /// Whether no failure was observed (the estimate is an upper-bound floor).
+    pub fn is_upper_bound(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// Configuration of a memory experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Number of Monte-Carlo shots.
+    pub shots: usize,
+    /// Maximum BP iterations before the OSD fallback.
+    pub bp_iterations: usize,
+    /// Number of worker threads (0 = use available parallelism).
+    pub threads: usize,
+    /// Base RNG seed (each thread derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            shots: 2_000,
+            bp_iterations: 30,
+            threads: 0,
+            seed: 0xC1C1_0DE5,
+        }
+    }
+}
+
+impl MemoryConfig {
+    /// Creates a config with the given number of shots and defaults elsewhere.
+    pub fn with_shots(shots: usize) -> Self {
+        MemoryConfig {
+            shots,
+            ..Default::default()
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+        }
+    }
+}
+
+/// A logical-memory experiment for one code under one hardware noise model.
+#[derive(Debug)]
+pub struct MemoryExperiment<'a> {
+    code: &'a CssCode,
+    model: HardwareNoiseModel,
+    x_decoder: BpOsdDecoder,
+    z_decoder: BpOsdDecoder,
+}
+
+impl<'a> MemoryExperiment<'a> {
+    /// Builds the experiment (constructing BP+OSD decoders for both sectors).
+    pub fn new(code: &'a CssCode, model: HardwareNoiseModel, bp_iterations: usize) -> Self {
+        MemoryExperiment {
+            code,
+            model,
+            // Hx detects Z errors; Hz detects X errors.
+            x_decoder: BpOsdDecoder::new(code.hz(), bp_iterations),
+            z_decoder: BpOsdDecoder::new(code.hx(), bp_iterations),
+        }
+    }
+
+    /// The effective per-qubit, per-round error rate driving the sampling.
+    pub fn effective_error_rate(&self) -> f64 {
+        self.model.effective_error_rate()
+    }
+
+    /// Runs one shot with the given RNG; returns `true` when a logical error occurred.
+    pub fn sample_one<R: Rng>(&self, rng: &mut R) -> bool {
+        let n = self.code.num_qubits();
+        let p = self.effective_error_rate();
+        // Depolarizing channel: X, Y, Z each with p/3. X-frame = X or Y; Z-frame = Z or Y.
+        let mut x_error = vec![false; n];
+        let mut z_error = vec![false; n];
+        for q in 0..n {
+            if rng.gen_bool(p.min(0.75)) {
+                match rng.gen_range(0..3) {
+                    0 => x_error[q] = true,
+                    1 => z_error[q] = true,
+                    _ => {
+                        x_error[q] = true;
+                        z_error[q] = true;
+                    }
+                }
+            }
+        }
+        // X errors are detected by Z stabilizers and corrected by the X decoder.
+        let z_syndrome = self.code.z_syndrome(&x_error);
+        let x_correction = self.x_decoder.decode(&z_syndrome, p.min(0.45).max(1e-9)).error;
+        let x_residual: Vec<bool> = x_error
+            .iter()
+            .zip(&x_correction)
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        if self.code.x_error_is_logical(&x_residual) {
+            return true;
+        }
+        // Z errors are detected by X stabilizers.
+        let x_syndrome = self.code.x_syndrome(&z_error);
+        let z_correction = self.z_decoder.decode(&x_syndrome, p.min(0.45).max(1e-9)).error;
+        let z_residual: Vec<bool> = z_error
+            .iter()
+            .zip(&z_correction)
+            .map(|(&a, &b)| a ^ b)
+            .collect();
+        self.code.z_error_is_logical(&z_residual)
+    }
+
+    /// Runs the full Monte-Carlo experiment in parallel and returns the LER estimate.
+    pub fn run(&self, config: &MemoryConfig) -> LerEstimate {
+        let workers = config.worker_count().max(1);
+        let shots_per_worker = config.shots.div_ceil(workers);
+        let failures = Mutex::new(0usize);
+        let total = Mutex::new(0usize);
+        crossbeam::scope(|scope| {
+            for w in 0..workers {
+                let failures = &failures;
+                let total = &total;
+                let this = &self;
+                let shots = shots_per_worker.min(config.shots.saturating_sub(w * shots_per_worker));
+                if shots == 0 {
+                    continue;
+                }
+                let seed = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
+                scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut local_failures = 0usize;
+                    for _ in 0..shots {
+                        if this.sample_one(&mut rng) {
+                            local_failures += 1;
+                        }
+                    }
+                    *failures.lock() += local_failures;
+                    *total.lock() += shots;
+                });
+            }
+        })
+        .expect("memory experiment worker panicked");
+        let shots = *total.lock();
+        let failure_count = *failures.lock();
+        LerEstimate::from_counts(shots.max(1), failure_count)
+    }
+}
+
+/// Convenience: estimate the LER of `code` for a round that takes `latency` seconds at
+/// physical error rate `p`.
+pub fn logical_error_rate(
+    code: &CssCode,
+    p: f64,
+    latency: f64,
+    config: &MemoryConfig,
+) -> LerEstimate {
+    let model = HardwareNoiseModel::new(noise::NoiseParameters::new(p), latency);
+    MemoryExperiment::new(code, model, config.bp_iterations).run(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noise::NoiseParameters;
+    use qec::codes::bb_72_12_6;
+
+    #[test]
+    fn low_noise_gives_low_ler() {
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(1e-4), 0.0);
+        let exp = MemoryExperiment::new(&code, model, 25);
+        let est = exp.run(&MemoryConfig {
+            shots: 300,
+            ..Default::default()
+        });
+        assert!(est.ler < 0.1, "LER {} too high at p=1e-4 with zero latency", est.ler);
+    }
+
+    #[test]
+    fn latency_increases_ler() {
+        let code = bb_72_12_6().expect("valid");
+        let cfg = MemoryConfig {
+            shots: 400,
+            ..Default::default()
+        };
+        let fast = logical_error_rate(&code, 2e-3, 0.0, &cfg);
+        let slow = logical_error_rate(&code, 2e-3, 0.3, &cfg);
+        assert!(
+            slow.ler >= fast.ler,
+            "long latency ({}) should not beat zero latency ({})",
+            slow.ler,
+            fast.ler
+        );
+    }
+
+    #[test]
+    fn huge_noise_gives_high_ler() {
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(0.2), 0.0);
+        let exp = MemoryExperiment::new(&code, model, 10);
+        let est = exp.run(&MemoryConfig {
+            shots: 100,
+            ..Default::default()
+        });
+        assert!(est.ler > 0.2, "LER {} suspiciously low at p=0.2", est.ler);
+    }
+
+    #[test]
+    fn estimate_counts_consistent() {
+        let e = LerEstimate::from_counts(1000, 10);
+        assert_eq!(e.ler, 0.01);
+        assert!(!e.is_upper_bound());
+        let zero = LerEstimate::from_counts(1000, 0);
+        assert!(zero.is_upper_bound());
+        assert!(zero.ler > 0.0);
+    }
+}

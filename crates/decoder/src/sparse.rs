@@ -1,0 +1,118 @@
+//! Sparse binary parity-check matrices for iterative decoding.
+//!
+//! [`SparseBinMat`] stores a parity-check matrix as row and column adjacency lists —
+//! the natural representation for belief propagation, where messages flow along the
+//! edges of the Tanner graph.
+
+use qec::linalg::BitMat;
+
+/// A sparse binary matrix stored as row supports and column supports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseBinMat {
+    num_rows: usize,
+    num_cols: usize,
+    rows: Vec<Vec<usize>>,
+    cols: Vec<Vec<usize>>,
+}
+
+impl SparseBinMat {
+    /// Builds a sparse matrix from row supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    pub fn from_row_supports(num_cols: usize, rows: Vec<Vec<usize>>) -> Self {
+        let num_rows = rows.len();
+        let mut cols = vec![Vec::new(); num_cols];
+        for (r, support) in rows.iter().enumerate() {
+            for &c in support {
+                assert!(c < num_cols, "column {c} out of range ({num_cols})");
+                cols[c].push(r);
+            }
+        }
+        SparseBinMat {
+            num_rows,
+            num_cols,
+            rows,
+            cols,
+        }
+    }
+
+    /// Converts a dense GF(2) matrix.
+    pub fn from_bitmat(m: &BitMat) -> Self {
+        Self::from_row_supports(m.num_cols(), m.to_row_supports())
+    }
+
+    /// Number of rows (checks).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns (variables).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Support of row `r`.
+    pub fn row(&self, r: usize) -> &[usize] {
+        &self.rows[r]
+    }
+
+    /// Support of column `c`.
+    pub fn col(&self, c: usize) -> &[usize] {
+        &self.cols[c]
+    }
+
+    /// Total number of nonzero entries.
+    pub fn num_entries(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Computes the syndrome `H·e` of an error pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error.len() != num_cols`.
+    pub fn syndrome(&self, error: &[bool]) -> Vec<bool> {
+        assert_eq!(error.len(), self.num_cols, "error length mismatch");
+        self.rows
+            .iter()
+            .map(|row| row.iter().fold(false, |acc, &c| acc ^ error[c]))
+            .collect()
+    }
+
+    /// Returns a dense copy.
+    pub fn to_bitmat(&self) -> BitMat {
+        BitMat::from_row_supports(self.num_rows, self.num_cols, &self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_bitmat() {
+        let m = BitMat::from_dense(&[vec![1, 0, 1], vec![0, 1, 1]]);
+        let s = SparseBinMat::from_bitmat(&m);
+        assert_eq!(s.num_rows(), 2);
+        assert_eq!(s.num_cols(), 3);
+        assert_eq!(s.num_entries(), 4);
+        assert_eq!(s.to_bitmat(), m);
+    }
+
+    #[test]
+    fn syndrome_matches_dense() {
+        let m = BitMat::from_dense(&[vec![1, 1, 0], vec![0, 1, 1]]);
+        let s = SparseBinMat::from_bitmat(&m);
+        let e = vec![true, false, true];
+        assert_eq!(s.syndrome(&e), m.mul_vec(&e));
+    }
+
+    #[test]
+    fn column_supports() {
+        let s = SparseBinMat::from_row_supports(3, vec![vec![0, 2], vec![1, 2]]);
+        assert_eq!(s.col(2), &[0, 1]);
+        assert_eq!(s.col(0), &[0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the decoding substrate: BP+OSD correctness invariants and
+//! noise-model monotonicity at the memory-experiment level.
+
+use decoder::bposd::BpOsdDecoder;
+use decoder::memory::{MemoryConfig, MemoryExperiment};
+use decoder::sparse::SparseBinMat;
+use noise::{HardwareNoiseModel, NoiseParameters};
+use proptest::prelude::*;
+use qec::classical::ClassicalCode;
+use qec::hgp::square_hypergraph_product;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bposd_always_matches_the_syndrome(seed in 0u64..50, p in 0.002f64..0.08) {
+        let c = ClassicalCode::gallager_ldpc(8, 3, 4, seed % 10);
+        let code = square_hypergraph_product(&c).expect("valid");
+        let decoder = BpOsdDecoder::new(code.hz(), 25);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = code.num_qubits();
+        let error: Vec<bool> = (0..n).map(|_| rng.gen_bool(p)).collect();
+        let syndrome = code.z_syndrome(&error);
+        let decoded = decoder.decode(&syndrome, p);
+        prop_assert_eq!(code.z_syndrome(&decoded.error), syndrome);
+    }
+
+    #[test]
+    fn correctable_errors_never_cause_logicals(position in 0usize..100) {
+        // Any single-qubit error is within the correction radius of the distance-3
+        // surface-like HGP code.
+        let code = square_hypergraph_product(&ClassicalCode::repetition(3)).expect("valid");
+        let decoder = BpOsdDecoder::new(code.hz(), 30);
+        let n = code.num_qubits();
+        let q = position % n;
+        let mut error = vec![false; n];
+        error[q] = true;
+        let syndrome = code.z_syndrome(&error);
+        let decoded = decoder.decode(&syndrome, 0.01);
+        let residual: Vec<bool> = error.iter().zip(&decoded.error).map(|(&a, &b)| a ^ b).collect();
+        prop_assert!(!code.x_error_is_logical(&residual));
+    }
+
+    #[test]
+    fn syndrome_of_sparse_matrix_matches_dense(seed in 0u64..40) {
+        let c = ClassicalCode::gallager_ldpc(12, 3, 4, seed);
+        let h = c.parity_check();
+        let sparse = SparseBinMat::from_bitmat(h);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let e: Vec<bool> = (0..h.num_cols()).map(|_| rng.gen_bool(0.3)).collect();
+        prop_assert_eq!(sparse.syndrome(&e), h.mul_vec(&e));
+    }
+
+    #[test]
+    fn effective_error_rate_monotone_in_latency(latency in 0.0f64..0.5, p_exp in 1.0f64..3.0) {
+        let p = 10f64.powf(-1.0 - p_exp); // 1e-2 .. 1e-4
+        let short = HardwareNoiseModel::new(NoiseParameters::new(p), latency);
+        let long = HardwareNoiseModel::new(NoiseParameters::new(p), latency + 0.05);
+        prop_assert!(long.effective_error_rate() >= short.effective_error_rate());
+    }
+}
+
+#[test]
+fn memory_experiment_is_deterministic_for_fixed_seed() {
+    let code = square_hypergraph_product(&ClassicalCode::repetition(3)).expect("valid");
+    let model = HardwareNoiseModel::new(NoiseParameters::new(5e-3), 1e-3);
+    let cfg = MemoryConfig {
+        shots: 150,
+        bp_iterations: 15,
+        threads: 3,
+        seed: 42,
+    };
+    let a = MemoryExperiment::new(&code, model, cfg.bp_iterations).run(&cfg);
+    let b = MemoryExperiment::new(&code, model, cfg.bp_iterations).run(&cfg);
+    assert_eq!(a.failures, b.failures, "same seed and shot split must reproduce");
+    assert_eq!(a.shots, b.shots);
+}

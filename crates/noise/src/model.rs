@@ -1,0 +1,193 @@
+//! The combined hardware-aware noise model.
+//!
+//! [`NoiseParameters`] holds the base circuit-level error rates (all defaulting to the
+//! single physical error rate `p` as in the paper), and [`HardwareNoiseModel`] couples
+//! them with a compiled execution latency to produce the effective per-round error
+//! rates used by the memory experiments.
+
+use crate::decoherence::{coherence_time_from_p, pauli_twirl_error, CoherenceTimes};
+use serde::{Deserialize, Serialize};
+
+/// Base circuit-level error rates.
+///
+/// The paper models every operation error as an independent depolarizing channel with
+/// probability `p` (the *physical error rate*); the fields are kept separate so that
+/// sensitivity studies can vary them independently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseParameters {
+    /// Two-qubit gate depolarizing probability.
+    pub two_qubit_gate: f64,
+    /// Single-qubit gate depolarizing probability.
+    pub single_qubit_gate: f64,
+    /// State-preparation flip probability.
+    pub preparation: f64,
+    /// Measurement flip probability.
+    pub measurement: f64,
+    /// The headline physical error rate `p` used for coherence-time parameterization.
+    physical: f64,
+}
+
+impl NoiseParameters {
+    /// Uniform circuit-level noise: every operation fails with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1)`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "physical error rate must be in (0,1), got {p}");
+        NoiseParameters {
+            two_qubit_gate: p,
+            single_qubit_gate: p,
+            preparation: p,
+            measurement: p,
+            physical: p,
+        }
+    }
+
+    /// The headline physical error rate `p`.
+    pub fn physical_error_rate(&self) -> f64 {
+        self.physical
+    }
+
+    /// Returns a copy with a scaled two-qubit gate error (used by ablations).
+    pub fn with_two_qubit_gate(mut self, p2: f64) -> Self {
+        self.two_qubit_gate = p2;
+        self
+    }
+
+    /// Returns a copy with a different measurement error.
+    pub fn with_measurement(mut self, pm: f64) -> Self {
+        self.measurement = pm;
+        self
+    }
+}
+
+/// A noise model that couples circuit-level noise with latency-induced decoherence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareNoiseModel {
+    parameters: NoiseParameters,
+    /// Compiled execution latency of one syndrome-extraction round, in seconds.
+    round_latency: f64,
+    /// Coherence times derived from the physical error rate (or overridden).
+    coherence: CoherenceTimes,
+}
+
+impl HardwareNoiseModel {
+    /// Builds a model for a round of the given latency (seconds), deriving coherence
+    /// times from the physical error rate with the paper's log fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_latency` is negative.
+    pub fn new(parameters: NoiseParameters, round_latency: f64) -> Self {
+        assert!(round_latency >= 0.0, "latency must be non-negative");
+        let t = coherence_time_from_p(parameters.physical_error_rate());
+        HardwareNoiseModel {
+            parameters,
+            round_latency,
+            coherence: CoherenceTimes::symmetric(t),
+        }
+    }
+
+    /// Builds a model with explicitly chosen coherence times.
+    pub fn with_coherence(parameters: NoiseParameters, round_latency: f64, coherence: CoherenceTimes) -> Self {
+        assert!(round_latency >= 0.0, "latency must be non-negative");
+        HardwareNoiseModel {
+            parameters,
+            round_latency,
+            coherence,
+        }
+    }
+
+    /// The base circuit-level parameters.
+    pub fn parameters(&self) -> &NoiseParameters {
+        &self.parameters
+    }
+
+    /// The compiled per-round execution latency in seconds.
+    pub fn round_latency(&self) -> f64 {
+        self.round_latency
+    }
+
+    /// The coherence times in use.
+    pub fn coherence(&self) -> CoherenceTimes {
+        self.coherence
+    }
+
+    /// The per-qubit decoherence error probability accumulated over one round
+    /// (`p_twirling` in the paper).
+    pub fn decoherence_error(&self) -> f64 {
+        pauli_twirl_error(self.round_latency, self.coherence)
+    }
+
+    /// The effective per-qubit, per-round error rate used by the memory experiments:
+    /// `p_eff = p_base + p_twirling`, clamped to 0.75 (the depolarizing maximum).
+    pub fn effective_error_rate(&self) -> f64 {
+        (self.parameters.two_qubit_gate + self.decoherence_error()).min(0.75)
+    }
+
+    /// Effective measurement error rate for one round: base measurement error plus the
+    /// ancilla's share of decoherence over the round.
+    pub fn effective_measurement_error(&self) -> f64 {
+        (self.parameters.measurement + self.decoherence_error()).min(0.75)
+    }
+
+    /// Returns a copy of this model with a different round latency — convenient for
+    /// comparing codesigns under identical base noise.
+    pub fn with_round_latency(mut self, latency: f64) -> Self {
+        assert!(latency >= 0.0, "latency must be non-negative");
+        self.round_latency = latency;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_rate_exceeds_base() {
+        let m = HardwareNoiseModel::new(NoiseParameters::new(1e-4), 1e-2);
+        assert!(m.effective_error_rate() > 1e-4);
+    }
+
+    #[test]
+    fn zero_latency_recovers_base_rate() {
+        let m = HardwareNoiseModel::new(NoiseParameters::new(1e-3), 0.0);
+        assert!((m.effective_error_rate() - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_latency_more_error() {
+        let p = NoiseParameters::new(5e-4);
+        let fast = HardwareNoiseModel::new(p, 1e-3);
+        let slow = HardwareNoiseModel::new(p, 4e-3);
+        assert!(slow.effective_error_rate() > fast.effective_error_rate());
+    }
+
+    #[test]
+    fn coherence_derived_from_p() {
+        let m = HardwareNoiseModel::new(NoiseParameters::new(1e-4), 1e-3);
+        assert!((m.coherence().t1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "physical error rate")]
+    fn invalid_p_rejected() {
+        let _ = NoiseParameters::new(0.0);
+    }
+
+    #[test]
+    fn with_round_latency_replaces() {
+        let m = HardwareNoiseModel::new(NoiseParameters::new(1e-4), 1e-3);
+        let m2 = m.with_round_latency(2e-3);
+        assert_eq!(m2.round_latency(), 2e-3);
+        assert_eq!(m.round_latency(), 1e-3);
+    }
+
+    #[test]
+    fn effective_rate_clamped() {
+        let m = HardwareNoiseModel::new(NoiseParameters::new(1e-3), 1e9);
+        assert!(m.effective_error_rate() <= 0.75);
+    }
+}

@@ -1,0 +1,457 @@
+//! Discrete-event shuttling simulator.
+//!
+//! [`ShuttleSim`] tracks, for one round of syndrome extraction:
+//!
+//! * where every ion currently is (`trap` per ion),
+//! * until when every trap and junction is busy,
+//! * the time spent in each operation category,
+//! * roadblock waits (time spent blocked on a busy trap or junction),
+//! * rebalances triggered when a merge would exceed a trap's capacity.
+//!
+//! A compiler drives the simulator by calling [`ShuttleSim::execute_gate`] for each
+//! entangling gate with the earliest time the gate *could* start (its data-dependency
+//! ready time); the simulator returns the completion time after accounting for
+//! shuttling, congestion, and intra-trap serialization. Gates in different traps with
+//! disjoint routes overlap freely — this is exactly the "high inter-trap, low
+//! intra-trap parallelism" model of §II-B.
+
+use crate::compiler::ComponentTimes;
+use crate::hardware::{NodeId, NodeKind, Topology};
+use crate::placement::Placement;
+use crate::timing::OperationTimes;
+use qec::{CssCode, StabKind};
+
+/// Identifier of an ion inside the simulator.
+///
+/// Data qubits occupy `0..n`; X ancillas `n..n+mx`; Z ancillas `n+mx..n+mx+mz`.
+pub type IonId = usize;
+
+/// The discrete-event state of one compilation run.
+#[derive(Debug, Clone)]
+pub struct ShuttleSim<'a> {
+    topology: &'a Topology,
+    times: &'a OperationTimes,
+    num_data: usize,
+    num_x: usize,
+    /// Current trap of every ion.
+    ion_trap: Vec<NodeId>,
+    /// Ions currently resident in each node (traps only; junctions stay empty).
+    occupancy: Vec<Vec<IonId>>,
+    /// Earliest time each trap is free.
+    trap_free: Vec<f64>,
+    /// Earliest time each junction is free.
+    junction_free: Vec<f64>,
+    breakdown: ComponentTimes,
+    num_shuttles: usize,
+    num_rebalances: usize,
+    roadblock_events: usize,
+    /// Completion time of the latest event.
+    horizon: f64,
+}
+
+impl<'a> ShuttleSim<'a> {
+    /// Creates a simulator with every ion at its home trap from `placement`.
+    pub fn new(
+        code: &CssCode,
+        topology: &'a Topology,
+        placement: &Placement,
+        times: &'a OperationTimes,
+    ) -> Self {
+        let num_nodes = topology.num_nodes();
+        let num_data = code.num_qubits();
+        let num_x = code.num_x_stabilizers();
+        let num_z = code.num_z_stabilizers();
+        let mut ion_trap = Vec::with_capacity(num_data + num_x + num_z);
+        ion_trap.extend(placement.data_trap.iter().copied());
+        ion_trap.extend(placement.x_ancilla_trap.iter().copied());
+        ion_trap.extend(placement.z_ancilla_trap.iter().copied());
+        let mut occupancy = vec![Vec::new(); num_nodes];
+        for (ion, &trap) in ion_trap.iter().enumerate() {
+            occupancy[trap].push(ion);
+        }
+        ShuttleSim {
+            topology,
+            times,
+            num_data,
+            num_x,
+            ion_trap,
+            occupancy,
+            trap_free: vec![0.0; num_nodes],
+            junction_free: vec![0.0; num_nodes],
+            breakdown: ComponentTimes::default(),
+            num_shuttles: 0,
+            num_rebalances: 0,
+            roadblock_events: 0,
+            horizon: 0.0,
+        }
+    }
+
+    /// The simulator ion id of a data qubit.
+    pub fn data_ion(&self, qubit: usize) -> IonId {
+        qubit
+    }
+
+    /// The simulator ion id of the ancilla measuring stabilizer (`kind`, `index`).
+    pub fn ancilla_ion(&self, kind: StabKind, index: usize) -> IonId {
+        match kind {
+            StabKind::X => self.num_data + index,
+            StabKind::Z => self.num_data + self.num_x + index,
+        }
+    }
+
+    /// Current trap of an ion.
+    pub fn ion_location(&self, ion: IonId) -> NodeId {
+        self.ion_trap[ion]
+    }
+
+    /// Latest completion time seen so far.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Accumulated component breakdown.
+    pub fn breakdown(&self) -> ComponentTimes {
+        self.breakdown
+    }
+
+    /// Number of inter-trap shuttles performed.
+    pub fn num_shuttles(&self) -> usize {
+        self.num_shuttles
+    }
+
+    /// Number of rebalances performed.
+    pub fn num_rebalances(&self) -> usize {
+        self.num_rebalances
+    }
+
+    /// Number of distinct waits on busy resources.
+    pub fn roadblock_events(&self) -> usize {
+        self.roadblock_events
+    }
+
+    fn chain_len(&self, trap: NodeId) -> usize {
+        self.occupancy[trap].len().max(2)
+    }
+
+    fn trap_capacity(&self, trap: NodeId) -> usize {
+        match self.topology.node(trap) {
+            NodeKind::Trap { capacity } => capacity,
+            NodeKind::Junction => 0,
+        }
+    }
+
+    fn wait_for_trap(&mut self, trap: NodeId, now: f64) -> f64 {
+        let free = self.trap_free[trap];
+        if free > now {
+            self.breakdown.roadblock_wait += free - now;
+            self.roadblock_events += 1;
+            free
+        } else {
+            now
+        }
+    }
+
+    fn wait_for_junction(&mut self, junction: NodeId, now: f64) -> f64 {
+        let free = self.junction_free[junction];
+        if free > now {
+            self.breakdown.roadblock_wait += free - now;
+            self.roadblock_events += 1;
+            free
+        } else {
+            now
+        }
+    }
+
+    /// Moves `ion` from its current trap to `target` along the shortest path, charging
+    /// split/move/junction/merge/swap costs and waiting on busy resources.
+    ///
+    /// Returns the arrival (merge-complete) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no path exists between the two traps.
+    pub fn shuttle_ion(&mut self, ion: IonId, target: NodeId, ready: f64) -> f64 {
+        let source = self.ion_trap[ion];
+        if source == target {
+            return ready;
+        }
+        let path = self
+            .topology
+            .shortest_path(source, target)
+            .unwrap_or_else(|| panic!("no shuttling path between {source} and {target}"));
+        self.num_shuttles += 1;
+
+        // Split out of the source trap (the trap is busy for the split).
+        let mut t = self.wait_for_trap(source, ready);
+        t += self.times.split;
+        self.breakdown.split += self.times.split;
+        self.trap_free[source] = self.trap_free[source].max(t);
+        self.occupancy[source].retain(|&i| i != ion);
+
+        // Traverse intermediate nodes.
+        for &node in &path[1..path.len() - 1] {
+            // Move along the connecting segment.
+            t += self.times.shuttle_move;
+            self.breakdown.shuttle_move += self.times.shuttle_move;
+            match self.topology.node(node) {
+                NodeKind::Junction => {
+                    t = self.wait_for_junction(node, t);
+                    let cross = self.times.junction_crossing(self.topology.degree(node));
+                    self.junction_free[node] = t + cross;
+                    t += cross;
+                    self.breakdown.junction += cross;
+                }
+                NodeKind::Trap { .. } => {
+                    // Passing *through* an occupied trap: the classic trap roadblock.
+                    t = self.wait_for_trap(node, t);
+                    let chain = self.chain_len(node);
+                    let pass = self.times.merge
+                        + self.times.swap(chain, (chain / 2).max(1))
+                        + self.times.split;
+                    self.trap_free[node] = t + pass;
+                    t += pass;
+                    self.breakdown.merge += self.times.merge;
+                    self.breakdown.swap += self.times.swap(chain, (chain / 2).max(1));
+                    self.breakdown.split += self.times.split;
+                }
+            }
+        }
+
+        // Final segment into the target trap.
+        t += self.times.shuttle_move;
+        self.breakdown.shuttle_move += self.times.shuttle_move;
+        t = self.wait_for_trap(target, t);
+
+        // Capacity check: rebalance if the merge would overflow the trap.
+        if self.occupancy[target].len() >= self.trap_capacity(target) {
+            t = self.rebalance(target, ion, t);
+        }
+
+        // Merge into the target trap and reorder.
+        let chain = self.chain_len(target) + 1;
+        let merge_and_position =
+            self.times.merge + self.times.swap(chain, (chain / 2).max(1));
+        self.breakdown.merge += self.times.merge;
+        self.breakdown.swap += self.times.swap(chain, (chain / 2).max(1));
+        t += merge_and_position;
+        self.trap_free[target] = t;
+        self.occupancy[target].push(ion);
+        self.ion_trap[ion] = target;
+        self.horizon = self.horizon.max(t);
+        t
+    }
+
+    /// Evicts one resident ion (other than `incoming`) from `trap` to the nearest trap
+    /// with room, charging the cost to the rebalance category.
+    fn rebalance(&mut self, trap: NodeId, incoming: IonId, now: f64) -> f64 {
+        // Choose a victim: prefer an ancilla that is idle, otherwise any resident.
+        let victim = match self.occupancy[trap].iter().copied().find(|&i| i >= self.num_data) {
+            Some(v) => v,
+            None => match self.occupancy[trap].first().copied() {
+                Some(v) => v,
+                None => return now,
+            },
+        };
+        let _ = incoming;
+        // Find the nearest trap with room.
+        let mut best: Option<(usize, NodeId)> = None;
+        for &cand in &self.topology.traps() {
+            if cand == trap {
+                continue;
+            }
+            if self.occupancy[cand].len() < self.trap_capacity(cand) {
+                if let Some(d) = self.topology.distance(trap, cand) {
+                    if best.map_or(true, |(bd, _)| d < bd) {
+                        best = Some((d, cand));
+                    }
+                }
+            }
+        }
+        let Some((dist, dest)) = best else {
+            // Nowhere to rebalance to: allow the overflow but record the event.
+            self.num_rebalances += 1;
+            return now;
+        };
+        self.num_rebalances += 1;
+        // Simplified rebalance: split + dist moves + merge, blocking both traps.
+        let cost = self.times.split + dist as f64 * self.times.shuttle_move + self.times.merge;
+        self.breakdown.rebalance += cost;
+        let t = now + cost;
+        self.trap_free[trap] = self.trap_free[trap].max(t);
+        self.trap_free[dest] = self.trap_free[dest].max(t);
+        self.occupancy[trap].retain(|&i| i != victim);
+        self.occupancy[dest].push(victim);
+        self.ion_trap[victim] = dest;
+        self.horizon = self.horizon.max(t);
+        t
+    }
+
+    /// Executes one entangling gate between the ancilla of stabilizer (`kind`,
+    /// `stab_index`) and data qubit `data`, starting no earlier than `ready`.
+    ///
+    /// If the two ions sit in different traps, the ancilla is shuttled to the data
+    /// qubit's trap first. Returns the completion time of the gate.
+    pub fn execute_gate(
+        &mut self,
+        kind: StabKind,
+        stab_index: usize,
+        data: usize,
+        ready: f64,
+    ) -> f64 {
+        let ancilla = self.ancilla_ion(kind, stab_index);
+        let data_ion = self.data_ion(data);
+        let target = self.ion_trap[data_ion];
+        let arrive = if self.ion_trap[ancilla] == target {
+            ready
+        } else {
+            self.shuttle_ion(ancilla, target, ready)
+        };
+        let start = self.wait_for_trap(target, arrive);
+        let dur = self.times.two_qubit_gate(self.chain_len(target));
+        self.breakdown.gate += dur;
+        let end = start + dur;
+        self.trap_free[target] = end;
+        self.horizon = self.horizon.max(end);
+        end
+    }
+
+    /// Measures the ancilla of stabilizer (`kind`, `index`) in place, starting no
+    /// earlier than `ready`; returns the completion time.
+    pub fn measure_ancilla(&mut self, kind: StabKind, index: usize, ready: f64) -> f64 {
+        let ancilla = self.ancilla_ion(kind, index);
+        let trap = self.ion_trap[ancilla];
+        let start = self.wait_for_trap(trap, ready);
+        let dur = self.times.measurement + self.times.preparation;
+        self.breakdown.measurement += dur;
+        let end = start + dur;
+        self.trap_free[trap] = end;
+        self.horizon = self.horizon.max(end);
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::greedy_cluster_placement;
+    use crate::topology::{baseline_grid, ring};
+    use qec::classical::ClassicalCode;
+    use qec::hgp::square_hypergraph_product;
+
+    fn setup() -> (CssCode, Topology, OperationTimes) {
+        let rep = ClassicalCode::repetition(3);
+        let code = square_hypergraph_product(&rep).expect("valid");
+        let topo = baseline_grid(code.num_qubits(), 5);
+        (code, topo, OperationTimes::default())
+    }
+
+    #[test]
+    fn same_trap_gate_has_no_shuttle() {
+        let (code, topo, times) = setup();
+        let placement = greedy_cluster_placement(&code, &topo);
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        // Find a stabilizer whose ancilla shares a trap with one of its data qubits.
+        let stab = code
+            .stabilizers()
+            .into_iter()
+            .find(|s| {
+                let at = placement.ancilla_trap(s.kind, s.index);
+                s.support.iter().any(|&d| placement.data_trap[d] == at)
+            })
+            .expect("clustering co-locates at least one pair");
+        let data = *stab
+            .support
+            .iter()
+            .find(|&&d| placement.data_trap[d] == placement.ancilla_trap(stab.kind, stab.index))
+            .unwrap();
+        let end = sim.execute_gate(stab.kind, stab.index, data, 0.0);
+        assert_eq!(sim.num_shuttles(), 0);
+        assert!(end > 0.0 && end < 1e-3, "a single gate takes tens of microseconds");
+    }
+
+    #[test]
+    fn cross_trap_gate_shuttles() {
+        let (code, topo, times) = setup();
+        let placement = greedy_cluster_placement(&code, &topo);
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        // Find a pair in different traps.
+        let stab = code
+            .stabilizers()
+            .into_iter()
+            .find(|s| {
+                let at = placement.ancilla_trap(s.kind, s.index);
+                s.support.iter().any(|&d| placement.data_trap[d] != at)
+            })
+            .expect("some pair crosses traps");
+        let data = *stab
+            .support
+            .iter()
+            .find(|&&d| placement.data_trap[d] != placement.ancilla_trap(stab.kind, stab.index))
+            .unwrap();
+        let end = sim.execute_gate(stab.kind, stab.index, data, 0.0);
+        assert_eq!(sim.num_shuttles(), 1);
+        // Must include at least split + merge + gate.
+        assert!(end >= times.split + times.merge + times.gate_base);
+        // The ancilla now lives in the data trap.
+        let anc = sim.ancilla_ion(stab.kind, stab.index);
+        assert_eq!(sim.ion_location(anc), placement.data_trap[data]);
+    }
+
+    #[test]
+    fn contention_serializes_same_trap_gates() {
+        let (code, topo, times) = setup();
+        let placement = greedy_cluster_placement(&code, &topo);
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        // Two gates targeting data qubits in the same trap cannot overlap.
+        let mut by_trap: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for (q, &t) in placement.data_trap.iter().enumerate() {
+            by_trap.entry(t).or_default().push(q);
+        }
+        let (_, qs) = by_trap.into_iter().find(|(_, v)| v.len() >= 2).expect("clustered placement");
+        let stab_of = |q: usize| {
+            code.stabilizers()
+                .into_iter()
+                .find(|s| s.support.contains(&q))
+                .expect("every qubit is checked")
+        };
+        let s0 = stab_of(qs[0]);
+        let s1 = stab_of(qs[1]);
+        let e0 = sim.execute_gate(s0.kind, s0.index, qs[0], 0.0);
+        let e1 = sim.execute_gate(s1.kind, s1.index, qs[1], 0.0);
+        assert!(e1 > e0 || (e0 - e1).abs() > 1e-12, "gates in one trap serialize");
+    }
+
+    #[test]
+    fn measurement_advances_horizon() {
+        let (code, topo, times) = setup();
+        let placement = greedy_cluster_placement(&code, &topo);
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        let end = sim.measure_ancilla(StabKind::X, 0, 0.0);
+        assert!(end >= times.measurement);
+        assert_eq!(sim.horizon(), end);
+    }
+
+    #[test]
+    fn ring_shuttle_distance_costs_more() {
+        let rep = ClassicalCode::repetition(3);
+        let code = square_hypergraph_product(&rep).expect("valid");
+        let topo = ring(6, 6);
+        let placement = greedy_cluster_placement(&code, &topo);
+        let times = OperationTimes::default();
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        let traps = topo.traps();
+        let anc = sim.ancilla_ion(StabKind::X, 0);
+        let start_trap = sim.ion_location(anc);
+        // Move to the adjacent trap and then to the opposite side; the long move takes
+        // strictly longer.
+        let near = traps.iter().copied().find(|&t| topo.distance(start_trap, t) == Some(2)).unwrap();
+        let t_near = sim.shuttle_ion(anc, near, 0.0);
+        let far = traps
+            .iter()
+            .copied()
+            .max_by_key(|&t| topo.distance(near, t).unwrap_or(0))
+            .unwrap();
+        let t_far = sim.shuttle_ion(anc, far, t_near) - t_near;
+        assert!(t_far > t_near);
+    }
+}

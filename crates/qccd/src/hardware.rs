@@ -1,0 +1,333 @@
+//! The QCCD hardware graph: traps, junctions, and shuttling paths.
+//!
+//! A [`Topology`] is an undirected graph whose nodes are either ion traps (with a
+//! finite ion capacity) or junctions (degree ≤ 4 routing elements). Edges are
+//! shuttling segments. Concrete layouts (grids, rings, meshes, …) are built in
+//! [`crate::topology`]; this module provides the graph datatype, path finding, and
+//! structural queries (trap/junction counts, degrees) used by the compilers and the
+//! spatial-cost analysis.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Index of a node (trap or junction) in a [`Topology`].
+pub type NodeId = usize;
+
+/// What a topology node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An ion trap able to hold up to `capacity` ions and execute one gate at a time.
+    Trap {
+        /// Maximum number of ions the trap can hold.
+        capacity: usize,
+    },
+    /// A junction: a routing element ions can cross but not sit in.
+    Junction,
+}
+
+impl NodeKind {
+    /// Returns true for trap nodes.
+    pub fn is_trap(&self) -> bool {
+        matches!(self, NodeKind::Trap { .. })
+    }
+
+    /// Returns the trap capacity, or `None` for junctions.
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            NodeKind::Trap { capacity } => Some(*capacity),
+            NodeKind::Junction => None,
+        }
+    }
+}
+
+/// Named class of layout, used for reporting and to pick compiler specializations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// The paper's baseline: a square grid of traps with vertical junction columns.
+    BaselineGrid,
+    /// The alternate grid with alternating horizontal/vertical meshes and L-junctions.
+    AlternateGrid,
+    /// A dense mesh of degree-4 junctions giving effective all-to-all connectivity.
+    MeshJunction,
+    /// A ring of traps connected through L-shaped (degree-2) junctions — Cyclone.
+    Ring,
+    /// A single large trap holding every ion (no shuttling).
+    SingleTrap,
+    /// The idealized fully connected graph of traps (OPT).
+    FullyConnected,
+    /// OPT with unused edges pruned (Pseudo-OPT).
+    PseudoOpt,
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TopologyKind::BaselineGrid => "baseline-grid",
+            TopologyKind::AlternateGrid => "alternate-grid",
+            TopologyKind::MeshJunction => "mesh-junction",
+            TopologyKind::Ring => "ring",
+            TopologyKind::SingleTrap => "single-trap",
+            TopologyKind::FullyConnected => "opt-fully-connected",
+            TopologyKind::PseudoOpt => "pseudo-opt",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The hardware connectivity graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    kind: TopologyKind,
+    nodes: Vec<NodeKind>,
+    adjacency: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology of the given kind.
+    pub fn new(name: impl Into<String>, kind: TopologyKind) -> Self {
+        Topology {
+            name: name.into(),
+            kind,
+            nodes: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// The topology's descriptive name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layout class.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Adds a trap with the given ion capacity, returning its node id.
+    pub fn add_trap(&mut self, capacity: usize) -> NodeId {
+        self.nodes.push(NodeKind::Trap { capacity });
+        self.adjacency.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Adds a junction, returning its node id.
+    pub fn add_junction(&mut self) -> NodeId {
+        self.nodes.push(NodeKind::Junction);
+        self.adjacency.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    /// Adds an undirected shuttling segment between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range or if the edge already exists.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "node id out of range");
+        assert!(a != b, "self loops are not allowed");
+        assert!(!self.adjacency[a].contains(&b), "duplicate edge {a}-{b}");
+        self.adjacency[a].push(b);
+        self.adjacency[b].push(a);
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The kind of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> NodeKind {
+        self.nodes[id]
+    }
+
+    /// Neighbors of node `id`.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.adjacency[id]
+    }
+
+    /// Degree (number of incident shuttling segments) of node `id`.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.adjacency[id].len()
+    }
+
+    /// Ids of all trap nodes, in insertion order.
+    pub fn traps(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_trap()).collect()
+    }
+
+    /// Ids of all junction nodes, in insertion order.
+    pub fn junctions(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).filter(|&i| !self.nodes[i].is_trap()).collect()
+    }
+
+    /// Number of traps.
+    pub fn num_traps(&self) -> usize {
+        self.traps().len()
+    }
+
+    /// Number of junctions.
+    pub fn num_junctions(&self) -> usize {
+        self.junctions().len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Total ion capacity across all traps.
+    pub fn total_capacity(&self) -> usize {
+        self.nodes.iter().filter_map(NodeKind::capacity).sum()
+    }
+
+    /// Breadth-first shortest path (as a node sequence including both endpoints).
+    ///
+    /// Returns `None` when no path exists.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev = vec![usize::MAX; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        prev[from] = from;
+        queue.push_back(from);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if prev[v] == usize::MAX {
+                    prev[v] = u;
+                    if v == to {
+                        let mut path = vec![to];
+                        let mut cur = to;
+                        while cur != from {
+                            cur = prev[cur];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Hop distance between two nodes (`None` if disconnected).
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.shortest_path(from, to).map(|p| p.len() - 1)
+    }
+
+    /// Whether the graph is connected (ignoring isolated check: empty graphs count as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// Validates the paper's structural constraints: traps have degree ≤ 2 and
+    /// junctions have degree ≤ 4. Returns a list of violating node ids (empty when
+    /// the topology is physically realizable).
+    pub fn constraint_violations(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| match self.nodes[i] {
+                NodeKind::Trap { .. } => self.degree(i) > 2,
+                NodeKind::Junction => self.degree(i) > 4,
+            })
+            .collect()
+    }
+
+    /// True when the topology satisfies the trap-degree and junction-degree limits.
+    pub fn is_physically_realizable(&self) -> bool {
+        self.constraint_violations().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_of_traps(n: usize) -> Topology {
+        let mut t = Topology::new("line", TopologyKind::Ring);
+        let ids: Vec<_> = (0..n).map(|_| t.add_trap(4)).collect();
+        for w in ids.windows(2) {
+            t.add_edge(w[0], w[1]);
+        }
+        t
+    }
+
+    #[test]
+    fn counts() {
+        let mut t = line_of_traps(3);
+        let j = t.add_junction();
+        t.add_edge(2, j);
+        assert_eq!(t.num_traps(), 3);
+        assert_eq!(t.num_junctions(), 1);
+        assert_eq!(t.num_edges(), 3);
+        assert_eq!(t.total_capacity(), 12);
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let t = line_of_traps(5);
+        let p = t.shortest_path(0, 4).expect("connected");
+        assert_eq!(p, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.distance(0, 4), Some(4));
+        assert_eq!(t.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut t = line_of_traps(2);
+        let lonely = t.add_trap(4);
+        assert!(!t.is_connected());
+        assert_eq!(t.shortest_path(0, lonely), None);
+    }
+
+    #[test]
+    fn constraint_violations_detected() {
+        let mut t = Topology::new("star", TopologyKind::BaselineGrid);
+        let hub = t.add_trap(4);
+        for _ in 0..3 {
+            let leaf = t.add_trap(4);
+            t.add_edge(hub, leaf);
+        }
+        assert_eq!(t.constraint_violations(), vec![hub]);
+        assert!(!t.is_physically_realizable());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_rejected() {
+        let mut t = line_of_traps(2);
+        t.add_edge(0, 1);
+    }
+
+    #[test]
+    fn connected_empty_and_singleton() {
+        let t = Topology::new("empty", TopologyKind::SingleTrap);
+        assert!(t.is_connected());
+        let mut s = Topology::new("one", TopologyKind::SingleTrap);
+        s.add_trap(10);
+        assert!(s.is_connected());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the hardware substrate: topology invariants, timing-model
+//! monotonicity, and compiler sanity across random codes and layouts.
+
+use proptest::prelude::*;
+use qccd::compiler::baseline::compile_baseline;
+use qccd::placement::{greedy_cluster_placement, round_robin_placement};
+use qccd::timing::{OperationTimes, SwapKind};
+use qccd::topology::{alternate_grid, baseline_grid, grid_with_side, mesh_junction_network, ring};
+use qec::classical::ClassicalCode;
+use qec::hgp::hypergraph_product;
+use qec::schedule::serial_schedule;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rings_are_connected_and_realizable(x in 1usize..80, cap in 1usize..20) {
+        let t = ring(x, cap);
+        prop_assert!(t.is_connected());
+        prop_assert!(t.is_physically_realizable());
+        prop_assert_eq!(t.num_traps(), x.max(1));
+        prop_assert_eq!(t.total_capacity(), x.max(1) * cap);
+    }
+
+    #[test]
+    fn grids_are_connected_and_realizable(side in 1usize..14, cap in 1usize..8) {
+        let t = grid_with_side(side, cap);
+        prop_assert!(t.is_connected());
+        prop_assert!(t.is_physically_realizable());
+        prop_assert_eq!(t.num_traps(), side.max(1) * side.max(1));
+    }
+
+    #[test]
+    fn alternate_grids_are_connected(n in 4usize..150, cap in 2usize..8) {
+        let t = alternate_grid(n, cap);
+        prop_assert!(t.is_connected());
+        prop_assert!(t.is_physically_realizable());
+    }
+
+    #[test]
+    fn mesh_networks_hold_all_traps(n in 4usize..120, cap in 1usize..6) {
+        let t = mesh_junction_network(n, cap);
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.num_traps(), n);
+        prop_assert!(t.is_physically_realizable());
+    }
+
+    #[test]
+    fn shortest_paths_respect_triangle_inequality(x in 3usize..40) {
+        let t = ring(x, 4);
+        let traps = t.traps();
+        let a = traps[0];
+        let b = traps[x / 2];
+        let c = traps[x / 3];
+        let dab = t.distance(a, b).unwrap();
+        let dbc = t.distance(b, c).unwrap();
+        let dac = t.distance(a, c).unwrap();
+        prop_assert!(dac <= dab + dbc);
+    }
+
+    #[test]
+    fn gate_time_monotone_in_chain_length(len in 2usize..60) {
+        let times = OperationTimes::default();
+        prop_assert!(times.two_qubit_gate(len + 1) >= times.two_qubit_gate(len));
+    }
+
+    #[test]
+    fn scaled_times_are_proportional(r in 0.0f64..0.95) {
+        let t = OperationTimes::default();
+        let s = t.scaled(r);
+        prop_assert!((s.split - t.split * (1.0 - r)).abs() < 1e-12);
+        prop_assert!((s.merge - t.merge * (1.0 - r)).abs() < 1e-12);
+        prop_assert!(s.two_qubit_gate(2) <= t.two_qubit_gate(2) + 1e-12);
+    }
+
+    #[test]
+    fn ion_swap_cost_monotone_in_distance(d in 1usize..30) {
+        let times = OperationTimes::default().with_swap_kind(SwapKind::IonSwap);
+        prop_assert!(times.swap(10, d + 1) >= times.swap(10, d));
+    }
+
+    #[test]
+    fn placements_respect_capacity(seed in 0u64..30) {
+        let c = ClassicalCode::gallager_ldpc(8, 3, 4, seed);
+        let code = hypergraph_product(&c, &c).expect("valid");
+        let topo = baseline_grid(code.num_qubits(), 5);
+        for placement in [
+            greedy_cluster_placement(&code, &topo),
+            round_robin_placement(&code, &topo),
+        ] {
+            for &trap in &topo.traps() {
+                let cap = topo.node(trap).capacity().unwrap();
+                prop_assert!(placement.resident_count(trap) <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_compile_time_bounded_by_serialized_work(seed in 0u64..10) {
+        let c = ClassicalCode::gallager_ldpc(8, 3, 4, seed);
+        let code = hypergraph_product(&c, &c).expect("valid");
+        let topo = baseline_grid(code.num_qubits(), 5);
+        let round = compile_baseline(&code, &topo, &OperationTimes::default(), &serial_schedule(&code));
+        prop_assert!(round.execution_time > 0.0);
+        prop_assert!(round.execution_time <= round.breakdown.serialized_total() + 1e-9);
+        prop_assert!(round.breakdown.roadblock_wait >= 0.0);
+    }
+}

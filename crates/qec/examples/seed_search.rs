@@ -1,0 +1,14 @@
+// quick seed search for ingredient codes
+fn main() {
+    for (n, k, d) in [(8usize, 2usize, 4usize), (12, 3, 6), (16, 4, 6), (20, 5, 8)] {
+        let mut found = None;
+        for seed in 0..200000u64 {
+            let c = qec::classical::ClassicalCode::gallager_ldpc(n, 3, 4, seed);
+            if c.dimension() != k { continue; }
+            if let Some(dist) = c.minimum_distance() {
+                if dist >= d { found = Some((seed, dist)); break; }
+            }
+        }
+        println!("n={n} k={k} want_d={d} -> {:?}", found);
+    }
+}

@@ -1,0 +1,224 @@
+//! Bipartite edge coloring of Tanner graphs.
+//!
+//! Syndrome-extraction scheduling reduces to edge coloring of the Tanner graph: each
+//! color class is a set of CX gates that touch every stabilizer and every data qubit
+//! at most once, so it can execute as one parallel timeslice (hardware permitting).
+//! By König's theorem a bipartite graph with maximum degree Δ admits a proper edge
+//! coloring with exactly Δ colors; [`edge_color_bipartite`] implements the classical
+//! alternating-path (fan-free Vizing) algorithm for bipartite graphs.
+
+use std::collections::HashMap;
+
+/// An edge of a bipartite graph: (left vertex, right vertex).
+pub type Edge = (usize, usize);
+
+/// Result of an edge coloring: `colors[i]` is the color of `edges[i]`, and
+/// `num_colors` equals the maximum degree of the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeColoring {
+    /// Color index per input edge, parallel to the `edges` slice passed in.
+    pub colors: Vec<usize>,
+    /// Total number of colors used (equals the maximum degree).
+    pub num_colors: usize,
+}
+
+impl EdgeColoring {
+    /// Groups edge indices by color, in increasing color order.
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_colors];
+        for (i, &c) in self.colors.iter().enumerate() {
+            out[c].push(i);
+        }
+        out
+    }
+}
+
+/// Properly edge-colors a bipartite graph with `Δ` colors.
+///
+/// `num_left` / `num_right` are the sizes of the two vertex classes; `edges` lists the
+/// edges as `(left, right)` pairs. Parallel edges are allowed only if duplicates are
+/// distinct entries (each gets its own color).
+///
+/// # Panics
+///
+/// Panics if an edge refers to a vertex outside the declared ranges.
+///
+/// # Examples
+///
+/// ```
+/// use qec::coloring::edge_color_bipartite;
+///
+/// // A 2x2 complete bipartite graph needs exactly 2 colors.
+/// let edges = vec![(0, 0), (0, 1), (1, 0), (1, 1)];
+/// let coloring = edge_color_bipartite(2, 2, &edges);
+/// assert_eq!(coloring.num_colors, 2);
+/// ```
+pub fn edge_color_bipartite(num_left: usize, num_right: usize, edges: &[Edge]) -> EdgeColoring {
+    for &(l, r) in edges {
+        assert!(l < num_left, "left vertex {l} out of range {num_left}");
+        assert!(r < num_right, "right vertex {r} out of range {num_right}");
+    }
+    let mut left_deg = vec![0usize; num_left];
+    let mut right_deg = vec![0usize; num_right];
+    for &(l, r) in edges {
+        left_deg[l] += 1;
+        right_deg[r] += 1;
+    }
+    let delta = left_deg
+        .iter()
+        .chain(right_deg.iter())
+        .copied()
+        .max()
+        .unwrap_or(0);
+
+    // color_at_left[l][c] = edge index using color c at left vertex l (if any); same for right.
+    let mut color_at_left: Vec<HashMap<usize, usize>> = vec![HashMap::new(); num_left];
+    let mut color_at_right: Vec<HashMap<usize, usize>> = vec![HashMap::new(); num_right];
+    let mut colors = vec![usize::MAX; edges.len()];
+
+    for (idx, &(l, r)) in edges.iter().enumerate() {
+        let free_l = (0..delta).find(|c| !color_at_left[l].contains_key(c));
+        let free_r = (0..delta).find(|c| !color_at_right[r].contains_key(c));
+        let (Some(alpha), Some(beta)) = (free_l, free_r) else {
+            unreachable!("a vertex exceeded the computed maximum degree");
+        };
+        if alpha == beta {
+            colors[idx] = alpha;
+            color_at_left[l].insert(alpha, idx);
+            color_at_right[r].insert(alpha, idx);
+            continue;
+        }
+        // alpha is free at l, beta is free at r. Walk the alternating alpha/beta path
+        // starting from r and swap colors along it, which frees alpha at r.
+        let mut current_vertex_is_right = true;
+        let mut vertex = r;
+        let mut want = alpha; // color we are looking for at the current vertex
+        let mut path: Vec<usize> = Vec::new();
+        loop {
+            let map = if current_vertex_is_right {
+                &color_at_right[vertex]
+            } else {
+                &color_at_left[vertex]
+            };
+            match map.get(&want) {
+                None => break,
+                Some(&edge_idx) => {
+                    path.push(edge_idx);
+                    let (el, er) = edges[edge_idx];
+                    vertex = if current_vertex_is_right { el } else { er };
+                    current_vertex_is_right = !current_vertex_is_right;
+                    want = if want == alpha { beta } else { alpha };
+                }
+            }
+        }
+        // Swap alpha<->beta along the path: remove every path edge from the maps
+        // first, then flip the colors, then re-insert. Interleaving removals and
+        // insertions would clobber entries shared by consecutive path edges.
+        for &edge_idx in &path {
+            let (el, er) = edges[edge_idx];
+            let old = colors[edge_idx];
+            color_at_left[el].remove(&old);
+            color_at_right[er].remove(&old);
+        }
+        for &edge_idx in &path {
+            let (el, er) = edges[edge_idx];
+            let new = if colors[edge_idx] == alpha { beta } else { alpha };
+            colors[edge_idx] = new;
+            color_at_left[el].insert(new, edge_idx);
+            color_at_right[er].insert(new, edge_idx);
+        }
+        debug_assert!(!color_at_left[l].contains_key(&alpha));
+        debug_assert!(!color_at_right[r].contains_key(&alpha));
+        colors[idx] = alpha;
+        color_at_left[l].insert(alpha, idx);
+        color_at_right[r].insert(alpha, idx);
+    }
+
+    EdgeColoring {
+        colors,
+        num_colors: delta,
+    }
+}
+
+/// Verifies that a coloring is proper: no two edges of the same color share a vertex.
+pub fn is_proper_coloring(edges: &[Edge], coloring: &EdgeColoring) -> bool {
+    let mut seen_left = std::collections::HashSet::new();
+    let mut seen_right = std::collections::HashSet::new();
+    for (idx, &(l, r)) in edges.iter().enumerate() {
+        let c = coloring.colors[idx];
+        if !seen_left.insert((l, c)) || !seen_right.insert((r, c)) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_bipartite_uses_delta_colors() {
+        for n in 1..6 {
+            let edges: Vec<Edge> = (0..n).flat_map(|l| (0..n).map(move |r| (l, r))).collect();
+            let c = edge_color_bipartite(n, n, &edges);
+            assert_eq!(c.num_colors, n);
+            assert!(is_proper_coloring(&edges, &c));
+        }
+    }
+
+    #[test]
+    fn star_graph() {
+        let edges: Vec<Edge> = (0..7).map(|r| (0, r)).collect();
+        let c = edge_color_bipartite(1, 7, &edges);
+        assert_eq!(c.num_colors, 7);
+        assert!(is_proper_coloring(&edges, &c));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = edge_color_bipartite(3, 3, &[]);
+        assert_eq!(c.num_colors, 0);
+        assert!(c.colors.is_empty());
+    }
+
+    #[test]
+    fn random_bipartite_graphs_are_properly_colored() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let nl = 3 + trial % 7;
+            let nr = 4 + trial % 5;
+            let mut edges = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for _ in 0..(nl * nr / 2) {
+                let e = (rng.gen_range(0..nl), rng.gen_range(0..nr));
+                if used.insert(e) {
+                    edges.push(e);
+                }
+            }
+            let c = edge_color_bipartite(nl, nr, &edges);
+            assert!(is_proper_coloring(&edges, &c), "trial {trial} produced an improper coloring");
+            // Optimality: number of colors equals maximum degree.
+            let mut dl = vec![0; nl];
+            let mut dr = vec![0; nr];
+            for &(l, r) in &edges {
+                dl[l] += 1;
+                dr[r] += 1;
+            }
+            let delta = dl.iter().chain(dr.iter()).copied().max().unwrap_or(0);
+            assert_eq!(c.num_colors, delta);
+        }
+    }
+
+    #[test]
+    fn classes_partition_edges() {
+        let edges = vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 0)];
+        let c = edge_color_bipartite(3, 2, &edges);
+        let classes = c.classes();
+        let total: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(total, edges.len());
+    }
+}

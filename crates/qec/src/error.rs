@@ -1,0 +1,62 @@
+//! Error types for code construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating quantum error-correcting codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QecError {
+    /// The X and Z parity-check matrices do not commute (`Hx · Hzᵀ ≠ 0`).
+    StabilizersDoNotCommute {
+        /// Name of the offending code.
+        name: String,
+    },
+    /// Matrix dimensions are inconsistent.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// A code-family constructor was given invalid parameters.
+    InvalidParameters {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+    /// A seeded search for a classical ingredient code failed within its budget.
+    SearchExhausted {
+        /// Human-readable description of the search target.
+        context: String,
+    },
+}
+
+impl fmt::Display for QecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QecError::StabilizersDoNotCommute { name } => {
+                write!(f, "stabilizers of code `{name}` do not commute (Hx * Hz^T != 0)")
+            }
+            QecError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            QecError::InvalidParameters { context } => write!(f, "invalid parameters: {context}"),
+            QecError::SearchExhausted { context } => write!(f, "search exhausted: {context}"),
+        }
+    }
+}
+
+impl Error for QecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = QecError::ShapeMismatch { context: "Hx vs Hz".into() };
+        assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QecError>();
+    }
+}

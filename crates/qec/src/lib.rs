@@ -1,0 +1,41 @@
+//! CSS quantum error-correcting codes and their syndrome-extraction schedules.
+//!
+//! This crate is the code-theory substrate of the Cyclone reproduction. It provides:
+//!
+//! * dense GF(2) linear algebra ([`linalg`]),
+//! * classical LDPC ingredient codes ([`classical`]),
+//! * hypergraph product and bivariate bicycle constructions ([`hgp`], [`bb`]),
+//! * the CSS code abstraction with logical operators ([`css`]),
+//! * bipartite edge coloring ([`coloring`]) and idealized syndrome-extraction
+//!   schedules ([`schedule`]),
+//! * the named code catalog of the paper's evaluation ([`codes`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use qec::codes::bb_72_12_6;
+//! use qec::schedule::{max_parallel_schedule, serial_schedule};
+//!
+//! let code = bb_72_12_6()?;
+//! let parallel = max_parallel_schedule(&code);
+//! let serial = serial_schedule(&code);
+//! assert!(parallel.depth() < serial.depth() / 10);
+//! # Ok::<(), qec::error::QecError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bb;
+pub mod classical;
+pub mod codes;
+pub mod coloring;
+pub mod css;
+pub mod error;
+pub mod hgp;
+pub mod linalg;
+pub mod schedule;
+
+pub use css::{CssCode, StabKind, Stabilizer};
+pub use error::QecError;
+pub use schedule::{Schedule, SchedulePolicy};

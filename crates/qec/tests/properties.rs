@@ -1,0 +1,127 @@
+//! Property-based tests of the code-theory substrate: GF(2) algebra, code
+//! constructions, edge coloring, and schedule invariants.
+
+use proptest::prelude::*;
+use qec::bb::{bivariate_bicycle, BbParameters, Monomial};
+use qec::classical::ClassicalCode;
+use qec::coloring::{edge_color_bipartite, is_proper_coloring};
+use qec::hgp::{hgp_num_logical, hgp_num_qubits, hypergraph_product};
+use qec::linalg::{dot, weight, xor_vec, BitMat};
+use qec::schedule::{max_parallel_schedule, parallel_xz_schedule, serial_schedule};
+
+fn arb_bitmat(max_rows: usize, max_cols: usize) -> impl Strategy<Value = BitMat> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(proptest::collection::vec(0u8..2, c), r)
+            .prop_map(|rows| BitMat::from_dense(&rows))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(m in arb_bitmat(12, 12)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn rank_invariant_under_transpose(m in arb_bitmat(10, 14)) {
+        prop_assert_eq!(m.rank(), m.transpose().rank());
+    }
+
+    #[test]
+    fn rank_plus_nullity_equals_columns(m in arb_bitmat(10, 12)) {
+        prop_assert_eq!(m.rank() + m.null_space().len(), m.num_cols());
+    }
+
+    #[test]
+    fn null_space_vectors_are_in_kernel(m in arb_bitmat(8, 10)) {
+        for v in m.null_space() {
+            prop_assert!(m.mul_vec(&v).iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn solve_returns_valid_solutions(m in arb_bitmat(8, 10), x in proptest::collection::vec(any::<bool>(), 10)) {
+        // Build a consistent right-hand side from a known solution, then solve.
+        let x = &x[..m.num_cols()];
+        let b = m.mul_vec(x);
+        let sol = m.solve(&b).expect("constructed system is consistent");
+        prop_assert_eq!(m.mul_vec(&sol), b);
+    }
+
+    #[test]
+    fn xor_weight_triangle_inequality(a in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let b: Vec<bool> = a.iter().map(|&x| !x).collect();
+        let x = xor_vec(&a, &b);
+        prop_assert_eq!(weight(&x), a.len());
+        prop_assert_eq!(dot(&a, &a), weight(&a) % 2 == 1);
+    }
+
+    #[test]
+    fn kron_dimensions_multiply(a in arb_bitmat(4, 4), b in arb_bitmat(4, 4)) {
+        let k = a.kron(&b);
+        prop_assert_eq!(k.shape(), (a.num_rows() * b.num_rows(), a.num_cols() * b.num_cols()));
+    }
+
+    #[test]
+    fn edge_coloring_is_always_proper_and_optimal(
+        edges in proptest::collection::hash_set((0usize..8, 0usize..8), 0..30)
+    ) {
+        let edges: Vec<(usize, usize)> = edges.into_iter().collect();
+        let coloring = edge_color_bipartite(8, 8, &edges);
+        prop_assert!(is_proper_coloring(&edges, &coloring));
+        let mut dl = [0usize; 8];
+        let mut dr = [0usize; 8];
+        for &(l, r) in &edges { dl[l] += 1; dr[r] += 1; }
+        let delta = dl.iter().chain(dr.iter()).copied().max().unwrap_or(0);
+        prop_assert_eq!(coloring.num_colors, delta);
+    }
+
+    #[test]
+    fn hgp_of_random_ldpc_codes_is_valid(seed1 in 0u64..200, seed2 in 0u64..200) {
+        let c1 = ClassicalCode::gallager_ldpc(8, 3, 4, seed1);
+        let c2 = ClassicalCode::gallager_ldpc(8, 3, 4, seed2);
+        let code = hypergraph_product(&c1, &c2).expect("HGP always commutes");
+        prop_assert_eq!(code.num_qubits(), hgp_num_qubits(&c1, &c2));
+        prop_assert_eq!(code.num_logical(), hgp_num_logical(&c1, &c2));
+        // Logical operators commute with the opposite-sector checks.
+        for lx in code.logical_x() {
+            prop_assert!(code.z_syndrome(lx).iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn schedules_are_valid_for_random_hgp_codes(seed in 0u64..100) {
+        let c = ClassicalCode::gallager_ldpc(8, 3, 4, seed);
+        let code = hypergraph_product(&c, &c).expect("valid");
+        let serial = serial_schedule(&code);
+        let xz = parallel_xz_schedule(&code);
+        let best = max_parallel_schedule(&code);
+        prop_assert!(serial.validate(&code));
+        prop_assert!(xz.validate(&code));
+        prop_assert!(best.validate(&code));
+        prop_assert!(best.depth() <= xz.depth());
+        prop_assert!(xz.depth() <= code.max_x_weight() + code.max_z_weight());
+        prop_assert_eq!(serial.num_gates(), best.num_gates());
+    }
+
+    #[test]
+    fn bb_codes_from_random_small_polynomials_commute(
+        l in 2usize..6, m in 2usize..6,
+        a1 in 0usize..6, a2 in 0usize..6, a3 in 0usize..6,
+        b1 in 0usize..6, b2 in 0usize..6, b3 in 0usize..6,
+    ) {
+        let params = BbParameters {
+            l,
+            m,
+            a: vec![Monomial::x(a1), Monomial::y(a2), Monomial { x: a3, y: a3 }],
+            b: vec![Monomial::y(b1), Monomial::x(b2), Monomial { x: b3, y: b3 }],
+            claimed_distance: None,
+        };
+        // The BB construction always yields commuting stabilizers because the two
+        // circulant blocks commute.
+        let code = bivariate_bicycle(&params).expect("commuting construction");
+        prop_assert_eq!(code.num_qubits(), 2 * l * m);
+    }
+}

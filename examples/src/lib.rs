@@ -1,0 +1,1 @@
+//! Example binaries live in `src/bin`; see the README for how to run them.
