@@ -18,22 +18,38 @@ use decoder::memory::MemoryConfig;
 use qec::codes::{self, CatalogEntry};
 use qec::CssCode;
 
+/// Default Monte-Carlo shots per logical-error-rate point when `CYCLONE_SHOTS` is
+/// unset or malformed.
+pub const DEFAULT_SHOTS: usize = 400;
+
+/// Parses a `CYCLONE_SHOTS` value: unset, empty, non-numeric, or zero falls back to
+/// [`DEFAULT_SHOTS`].
+pub fn shots_from(raw: Option<&str>) -> usize {
+    match raw.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => DEFAULT_SHOTS,
+    }
+}
+
+/// Parses a boolean `CYCLONE_*` flag: only `"1"` (modulo surrounding
+/// whitespace) enables it.
+pub fn flag_from(raw: Option<&str>) -> bool {
+    raw.map(str::trim) == Some("1")
+}
+
 /// Number of Monte-Carlo shots per logical-error-rate point, honoring `CYCLONE_SHOTS`.
 pub fn shots() -> usize {
-    std::env::var("CYCLONE_SHOTS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(400)
+    shots_from(std::env::var("CYCLONE_SHOTS").ok().as_deref())
 }
 
 /// Whether to run the full (slow) code catalog, honoring `CYCLONE_FULL`.
 pub fn full_run() -> bool {
-    std::env::var("CYCLONE_FULL").map(|v| v == "1").unwrap_or(false)
+    flag_from(std::env::var("CYCLONE_FULL").ok().as_deref())
 }
 
 /// Whether to emit CSV instead of an aligned table, honoring `CYCLONE_CSV`.
 pub fn csv_output() -> bool {
-    std::env::var("CYCLONE_CSV").map(|v| v == "1").unwrap_or(false)
+    flag_from(std::env::var("CYCLONE_CSV").ok().as_deref())
 }
 
 /// The Monte-Carlo configuration used by every LER bench.
@@ -235,6 +251,33 @@ mod tests {
     fn defaults_are_reasonable() {
         assert!(shots() > 0);
         assert_eq!(error_rate_grid().len(), 5);
+    }
+
+    #[test]
+    fn shots_parsing_defaults_and_overrides() {
+        // Unset → default.
+        assert_eq!(shots_from(None), DEFAULT_SHOTS);
+        // Well-formed override.
+        assert_eq!(shots_from(Some("50")), 50);
+        assert_eq!(shots_from(Some(" 1250 ")), 1250);
+        // Malformed values fall back to the default instead of erroring.
+        assert_eq!(shots_from(Some("abc")), DEFAULT_SHOTS);
+        assert_eq!(shots_from(Some("")), DEFAULT_SHOTS);
+        assert_eq!(shots_from(Some("-3")), DEFAULT_SHOTS);
+        assert_eq!(shots_from(Some("1e3")), DEFAULT_SHOTS);
+        // Zero shots would panic the LER estimator; treat it as malformed.
+        assert_eq!(shots_from(Some("0")), DEFAULT_SHOTS);
+    }
+
+    #[test]
+    fn flag_parsing_accepts_only_literal_one() {
+        assert!(flag_from(Some("1")));
+        assert!(flag_from(Some(" 1")));
+        assert!(!flag_from(None));
+        assert!(!flag_from(Some("0")));
+        assert!(!flag_from(Some("true")));
+        assert!(!flag_from(Some("yes")));
+        assert!(!flag_from(Some("")));
     }
 
     #[test]

@@ -22,7 +22,7 @@ use qec::{CssCode, StabKind};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a Cyclone instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CycloneConfig {
     /// Number of traps on the ring. `None` selects the base form,
     /// `max(|X|, |Z|)` traps (one ancilla per trap).
@@ -30,15 +30,6 @@ pub struct CycloneConfig {
     /// Explicit per-trap ion capacity. `None` selects the "tight" capacity
     /// `⌈n/x⌉ + ⌈a/x⌉` (data plus resident ancillas).
     pub trap_capacity: Option<usize>,
-}
-
-impl Default for CycloneConfig {
-    fn default() -> Self {
-        CycloneConfig {
-            num_traps: None,
-            trap_capacity: None,
-        }
-    }
 }
 
 impl CycloneConfig {

@@ -621,7 +621,7 @@ mod tests {
         let rows = fig3_parallel_speedup(&catalog);
         assert_eq!(rows.len(), 1);
         assert!(rows[0].speedup > 10.0);
-        assert_eq!(rows[0].serial_depth, rows[0].parallel_depth * 0 + rows[0].serial_depth);
+        assert!(rows[0].serial_depth >= rows[0].parallel_depth);
     }
 
     #[test]

@@ -173,7 +173,7 @@ mod tests {
     fn zero_syndrome_decodes_to_zero() {
         let h = repetition_check(7);
         let bp = BeliefPropagation::new(h.clone(), 20);
-        let result = bp.decode(&vec![false; 6], 0.01);
+        let result = bp.decode(&[false; 6], 0.01);
         assert!(result.converged);
         assert!(result.error.iter().all(|&b| !b));
     }

@@ -5,16 +5,17 @@
 //! extraction round is converted into a decoherence error (Pauli twirling), added to
 //! the base circuit-level error rate, and the resulting effective per-qubit error rate
 //! drives independent X/Z error sampling, BP+OSD decoding, and logical-failure
-//! counting (see DESIGN.md, substitution 3). Sampling is parallelized with crossbeam
-//! scoped threads.
+//! counting (see DESIGN.md, substitution 3). Sampling is parallelized with `std`
+//! scoped threads; every shot derives its own RNG stream from the base seed, so the
+//! estimate is identical for any worker count.
 
 use crate::bposd::BpOsdDecoder;
 use noise::HardwareNoiseModel;
-use parking_lot::Mutex;
 use qec::CssCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An estimated logical error rate with sampling statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,7 +60,8 @@ pub struct MemoryConfig {
     pub bp_iterations: usize,
     /// Number of worker threads (0 = use available parallelism).
     pub threads: usize,
-    /// Base RNG seed (each thread derives its own stream).
+    /// Base RNG seed (each shot derives its own stream, so the estimate does
+    /// not depend on the worker count).
     pub seed: u64,
 }
 
@@ -89,6 +91,13 @@ impl MemoryConfig {
         } else {
             std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
         }
+    }
+
+    /// The RNG seed of one Monte-Carlo shot: a SplitMix64-style stream split of
+    /// the base seed, independent of which worker runs the shot.
+    fn shot_seed(&self, shot: usize) -> u64 {
+        self.seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shot as u64 + 1))
     }
 }
 
@@ -139,7 +148,7 @@ impl<'a> MemoryExperiment<'a> {
         }
         // X errors are detected by Z stabilizers and corrected by the X decoder.
         let z_syndrome = self.code.z_syndrome(&x_error);
-        let x_correction = self.x_decoder.decode(&z_syndrome, p.min(0.45).max(1e-9)).error;
+        let x_correction = self.x_decoder.decode(&z_syndrome, p.clamp(1e-9, 0.45)).error;
         let x_residual: Vec<bool> = x_error
             .iter()
             .zip(&x_correction)
@@ -150,7 +159,7 @@ impl<'a> MemoryExperiment<'a> {
         }
         // Z errors are detected by X stabilizers.
         let x_syndrome = self.code.x_syndrome(&z_error);
-        let z_correction = self.z_decoder.decode(&x_syndrome, p.min(0.45).max(1e-9)).error;
+        let z_correction = self.z_decoder.decode(&x_syndrome, p.clamp(1e-9, 0.45)).error;
         let z_residual: Vec<bool> = z_error
             .iter()
             .zip(&z_correction)
@@ -160,38 +169,34 @@ impl<'a> MemoryExperiment<'a> {
     }
 
     /// Runs the full Monte-Carlo experiment in parallel and returns the LER estimate.
+    ///
+    /// Each shot is seeded independently from [`MemoryConfig::seed`], so the estimate
+    /// is bit-identical for every `threads` setting (workers pull shots from a shared
+    /// counter purely for load balancing).
     pub fn run(&self, config: &MemoryConfig) -> LerEstimate {
         let workers = config.worker_count().max(1);
-        let shots_per_worker = config.shots.div_ceil(workers);
-        let failures = Mutex::new(0usize);
-        let total = Mutex::new(0usize);
-        crossbeam::scope(|scope| {
-            for w in 0..workers {
-                let failures = &failures;
-                let total = &total;
-                let this = &self;
-                let shots = shots_per_worker.min(config.shots.saturating_sub(w * shots_per_worker));
-                if shots == 0 {
-                    continue;
-                }
-                let seed = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(w as u64 + 1));
-                scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(seed);
+        let shots = config.shots;
+        let failures = AtomicUsize::new(0);
+        let next_shot = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
                     let mut local_failures = 0usize;
-                    for _ in 0..shots {
-                        if this.sample_one(&mut rng) {
+                    loop {
+                        let shot = next_shot.fetch_add(1, Ordering::Relaxed);
+                        if shot >= shots {
+                            break;
+                        }
+                        let mut rng = StdRng::seed_from_u64(config.shot_seed(shot));
+                        if self.sample_one(&mut rng) {
                             local_failures += 1;
                         }
                     }
-                    *failures.lock() += local_failures;
-                    *total.lock() += shots;
+                    failures.fetch_add(local_failures, Ordering::Relaxed);
                 });
             }
-        })
-        .expect("memory experiment worker panicked");
-        let shots = *total.lock();
-        let failure_count = *failures.lock();
-        LerEstimate::from_counts(shots.max(1), failure_count)
+        });
+        LerEstimate::from_counts(shots.max(1), failures.load(Ordering::Relaxed))
     }
 }
 
@@ -252,6 +257,29 @@ mod tests {
             ..Default::default()
         });
         assert!(est.ler > 0.2, "LER {} suspiciously low at p=0.2", est.ler);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_estimate() {
+        // threads: 0 resolves to available parallelism; because every shot owns
+        // its own seeded RNG stream, the estimate must match a single-threaded
+        // run exactly.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(8e-3), 5e-3);
+        let exp = MemoryExperiment::new(&code, model, 20);
+        let base = MemoryConfig {
+            shots: 250,
+            bp_iterations: 20,
+            threads: 0,
+            seed: 0xC1C1_0DE5,
+        };
+        let auto = exp.run(&base);
+        let single = exp.run(&MemoryConfig { threads: 1, ..base });
+        let four = exp.run(&MemoryConfig { threads: 4, ..base });
+        assert_eq!(auto.failures, single.failures);
+        assert_eq!(auto.failures, four.failures);
+        assert_eq!(auto.ler, single.ler);
+        assert_eq!(auto.shots, single.shots);
     }
 
     #[test]

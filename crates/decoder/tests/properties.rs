@@ -12,7 +12,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    // Deterministic: every case derives from this explicit seed (the workspace's
+    // shared 0xC1C1_0DE5 convention), so a CI failure reproduces locally.
+    #![proptest_config(ProptestConfig::with_cases(24).with_seed(0xC1C1_0DE5))]
 
     #[test]
     fn bposd_always_matches_the_syndrome(seed in 0u64..50, p in 0.002f64..0.08) {

@@ -61,8 +61,8 @@ pub(crate) fn run_static_ejf(
     let mut completion: Vec<f64> = vec![0.0; n];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     let to_key = |t: f64| (t * 1e12) as u64;
-    for i in 0..n {
-        if missing[i] == 0 {
+    for (i, &missing_deps) in missing.iter().enumerate() {
+        if missing_deps == 0 {
             heap.push(Reverse((to_key(0.0), i)));
         }
     }

@@ -35,9 +35,8 @@ pub fn grid_with_side(l: usize, capacity: usize) -> Topology {
     let mut t = Topology::new(format!("baseline-grid {l}x{l}"), TopologyKind::BaselineGrid);
     // Trap grid.
     let mut trap_id = vec![vec![0 as NodeId; l]; l];
-    for (r, row) in trap_id.iter_mut().enumerate() {
-        for (c, slot) in row.iter_mut().enumerate() {
-            let _ = (r, c);
+    for row in trap_id.iter_mut() {
+        for slot in row.iter_mut() {
             *slot = t.add_trap(capacity);
         }
     }
@@ -45,37 +44,30 @@ pub fn grid_with_side(l: usize, capacity: usize) -> Topology {
     // keeps degree <= 2: trap - junction - trap, and the same junction links vertically
     // to the junction of the row below, forming the "vertical junction columns".
     let mut junction_id = vec![vec![usize::MAX; l.saturating_sub(1)]; l];
-    for r in 0..l {
-        for c in 0..l - 1 {
+    for (junction_row, trap_row) in junction_id.iter_mut().zip(&trap_id) {
+        for (c, slot) in junction_row.iter_mut().enumerate() {
             let j = t.add_junction();
-            junction_id[r][c] = j;
-            t.add_edge(trap_id[r][c], j);
-            t.add_edge(j, trap_id[r][c + 1]);
+            *slot = j;
+            t.add_edge(trap_row[c], j);
+            t.add_edge(j, trap_row[c + 1]);
         }
     }
     // Vertical junction columns: connect junctions of adjacent rows.
-    for r in 0..l.saturating_sub(1) {
-        for c in 0..l.saturating_sub(1) {
-            t.add_edge(junction_id[r][c], junction_id[r + 1][c]);
+    for rows in junction_id.windows(2) {
+        for (&a, &b) in rows[0].iter().zip(&rows[1]) {
+            t.add_edge(a, b);
         }
     }
-    // Degenerate 1xl grids have no junctions for vertical movement; for l == 1 the
-    // single column of traps is linked directly.
-    if l >= 2 && l == 1 {
-        unreachable!();
-    }
-    if l >= 2 && trap_id.len() == l && l == 1 {
-        unreachable!();
-    }
+    // Degenerate 1x1 grids have no junctions and nothing to link vertically.
     if l == 1 {
         return t;
     }
     // Also allow row hopping at the left edge via dedicated junctions so the leftmost
     // column is not isolated vertically.
     let mut prev_edge_junction: Option<NodeId> = None;
-    for r in 0..l {
+    for trap_row in &trap_id {
         let j = t.add_junction();
-        t.add_edge(trap_id[r][0], j);
+        t.add_edge(trap_row[0], j);
         if let Some(prev) = prev_edge_junction {
             t.add_edge(prev, j);
         }
@@ -98,11 +90,11 @@ pub fn alternate_grid(num_data: usize, capacity: usize) -> Topology {
         }
     }
     // Horizontal chains within each row (trap-junction-trap keeps trap degree <= 2).
-    for r in 0..l {
+    for trap_row in &trap_id {
         for c in 0..l - 1 {
             let j = t.add_junction();
-            t.add_edge(trap_id[r][c], j);
-            t.add_edge(j, trap_id[r][c + 1]);
+            t.add_edge(trap_row[c], j);
+            t.add_edge(j, trap_row[c + 1]);
         }
     }
     // L-junctions at alternating row ends create a serpentine loop across rows.
@@ -142,11 +134,9 @@ pub fn mesh_junction_network(num_data: usize, capacity: usize) -> Topology {
     }
     // Perimeter junctions in clockwise order.
     let mut perimeter = Vec::new();
-    for c in 0..side {
-        perimeter.push(junction_id[0][c]);
-    }
-    for r in 1..side {
-        perimeter.push(junction_id[r][side - 1]);
+    perimeter.extend_from_slice(&junction_id[0]);
+    for row in junction_id.iter().skip(1) {
+        perimeter.push(row[side - 1]);
     }
     if side > 1 {
         for c in (0..side - 1).rev() {

@@ -11,7 +11,9 @@ use qec::hgp::hypergraph_product;
 use qec::schedule::serial_schedule;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    // Deterministic: every case derives from this explicit seed (the workspace's
+    // shared 0xC1C1_0DE5 convention), so a CI failure reproduces locally.
+    #![proptest_config(ProptestConfig::with_cases(32).with_seed(0xC1C1_0DE5))]
 
     #[test]
     fn rings_are_connected_and_realizable(x in 1usize..80, cap in 1usize..20) {

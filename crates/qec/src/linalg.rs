@@ -263,8 +263,8 @@ impl BitMat {
         let mut out = vec![false; self.rows];
         for (r, o) in out.iter_mut().enumerate() {
             let mut acc = false;
-            for c in 0..self.cols {
-                if v[c] && self.get(r, c) {
+            for (c, &vc) in v.iter().enumerate() {
+                if vc && self.get(r, c) {
                     acc = !acc;
                 }
             }
@@ -423,13 +423,13 @@ impl BitMat {
         assert_eq!(b.len(), self.rows, "rhs length must equal row count");
         // Augment with b as an extra column.
         let mut aug = BitMat::zeros(self.rows, self.cols + 1);
-        for r in 0..self.rows {
+        for (r, &br) in b.iter().enumerate() {
             for c in 0..self.cols {
                 if self.get(r, c) {
                     aug.set(r, c, true);
                 }
             }
-            if b[r] {
+            if br {
                 aug.set(r, self.cols, true);
             }
         }

@@ -1,0 +1,186 @@
+//! Offline API-compatible shim for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! `harness = false` bench targets use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Instead of the
+//! real crate's statistical machinery it takes `sample_size` wall-clock samples
+//! per benchmark and prints min / median / max per iteration — enough to spot
+//! order-of-magnitude regressions without any dependencies.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point for the `std::hint::black_box` optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched setup output is sized (accepted for API compatibility; the shim
+/// runs one routine call per setup call regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Drives the timed routine of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver handed to every target function.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples taken per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<44} (no samples)");
+            return self;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{id:<44} min {:>12?}  median {:>12?}  max {:>12?}  ({} samples)",
+            samples[0],
+            median,
+            samples[samples.len() - 1],
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms:
+/// `criterion_group!(name, target, ...)` and
+/// `criterion_group!(name = ...; config = ...; targets = ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` function running the given groups (CLI arguments from
+/// `cargo bench` are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine_sample_size_times() {
+        let mut calls = 0usize;
+        Criterion::default()
+            .sample_size(7)
+            .bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 7);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut setups = 0usize;
+        let mut runs = 0usize;
+        Criterion::default().sample_size(5).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |input| {
+                    runs += 1;
+                    input * 2
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 5);
+        assert_eq!(runs, 5);
+    }
+
+    criterion_group!(simple_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_expands_to_runnable_fn() {
+        simple_group();
+    }
+}

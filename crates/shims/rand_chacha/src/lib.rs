@@ -1,0 +1,156 @@
+//! Offline API-compatible shim for the `rand_chacha` crate.
+//!
+//! Unlike the other shims this one implements the real ChaCha block function,
+//! so `ChaCha8Rng` / `ChaCha12Rng` / `ChaCha20Rng` are genuine reduced-round
+//! ChaCha keystream generators (counter-mode, little-endian word order). The
+//! exact output stream is not guaranteed to match the published crate; only
+//! determinism for a fixed seed is.
+
+use rand::{RngCore, SeedableRng};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChaChaCore<const ROUNDS: usize> {
+    state: [u32; 16],
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "exhausted, refill".
+    cursor: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn new(key: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // 64-bit block counter in words 12..14, zero nonce in 14..16.
+        ChaChaCore {
+            state,
+            buffer: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self.buffer.iter_mut().zip(working.iter().zip(&self.state)) {
+            *out = w.wrapping_add(s);
+        }
+        // Advance the 64-bit counter.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            core: ChaChaCore<$rounds>,
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name {
+                    core: ChaChaCore::new(seed),
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xC1C1_0DE5);
+        let mut b = ChaCha8Rng::seed_from_u64(0xC1C1_0DE5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rounds_change_the_stream() {
+        let mut r8 = ChaCha8Rng::seed_from_u64(1);
+        let mut r20 = ChaCha20Rng::seed_from_u64(1);
+        assert_ne!(r8.next_u64(), r20.next_u64());
+    }
+
+    #[test]
+    fn usable_through_the_rng_trait() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let v = rng.gen_range(0usize..10);
+        assert!(v < 10);
+        let p = rng.gen::<f64>();
+        assert!((0.0..1.0).contains(&p));
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let first_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        let second_block: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert_ne!(first_block, second_block);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline API-compatible shim for the `serde` crate.
+//!
+//! Provides the `Serialize` / `Deserialize` marker traits plus the re-exported
+//! no-op derives, so type definitions keep their real-serde annotations. No
+//! serialization actually happens until the real crate is swapped in at the
+//! workspace root.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op derive does
+/// not implement it).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods; the no-op derive does
+/// not implement it).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! Offline no-op shim for serde's derive macros.
+//!
+//! Nothing in this workspace serializes values yet — the derives exist so type
+//! definitions can keep the same `#[derive(Serialize, Deserialize)]` annotations
+//! they will need once the real serde is wired in. Both macros accept the full
+//! serde attribute namespace and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

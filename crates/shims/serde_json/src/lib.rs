@@ -1,0 +1,157 @@
+//! Offline API-compatible shim for the `serde_json` crate.
+//!
+//! Provides a self-contained [`Value`] tree with JSON rendering. Generic
+//! `to_string<T: Serialize>` is not offered (the serde shim's traits carry no
+//! methods); callers build a [`Value`] explicitly instead.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value tree (object keys are kept sorted for deterministic output).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite double (non-finite values render as `null`, like serde_json).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Renders a [`Value`] as compact JSON.
+pub fn to_string(value: &Value) -> String {
+    value.to_string()
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let mut obj = BTreeMap::new();
+        obj.insert("ler".to_string(), Value::Number(1.5e-3));
+        obj.insert("code".to_string(), Value::from("bb_72_12_6"));
+        obj.insert("shots".to_string(), Value::from(vec![1usize, 2, 3]));
+        let v = Value::Object(obj);
+        assert_eq!(
+            to_string(&v),
+            r#"{"code":"bb_72_12_6","ler":0.0015,"shots":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(to_string(&Value::from("a\"b\n")), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_null() {
+        assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+    }
+}

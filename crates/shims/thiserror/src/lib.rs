@@ -1,0 +1,7 @@
+//! Offline API-compatible shim for the `thiserror` crate.
+//!
+//! Re-exports a no-op `Error` derive so types can keep their real-thiserror
+//! annotations; `Display` and `std::error::Error` impls are written by hand
+//! until the real crate is swapped in at the workspace root.
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,11 @@
+//! Offline no-op shim for thiserror's `Error` derive.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `thiserror::Error`'s derive. Accepts the real crate's
+/// attributes and expands to nothing — error types in this workspace implement
+/// `Display` and `std::error::Error` by hand.
+#[proc_macro_derive(Error, attributes(error, source, from, backtrace))]
+pub fn derive_error(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
