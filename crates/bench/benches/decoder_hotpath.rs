@@ -1,0 +1,167 @@
+//! Decoder hot-path throughput on the `[[72,12,6]]` BB code.
+//!
+//! Measures three rates with plain wall-clock timing (the criterion shim's statistics
+//! are no richer — see `crates/shims/README.md`):
+//!
+//! * **BP-only** — decodes of weight-1-error syndromes, which belief propagation
+//!   resolves without the OSD fallback;
+//! * **OSD-fallback** — decodes of syndromes on which BP fails, exercising the
+//!   word-level ordered-statistics path;
+//! * **full-shot** — complete Monte-Carlo shots (depolarizing sample + X and Z
+//!   decodes + logical checks) via `MemoryExperiment::sample_one_with`.
+//!
+//! A counting global allocator verifies the zero-allocation claim: after warmup, the
+//! timed full-shot loop must perform **zero** heap allocations. Each run overwrites
+//! `BENCH_decoder.json` at the repository root with its measurements, so the file
+//! always holds the current commit's numbers and the perf trajectory accumulates in
+//! git history (and in CI artifacts). All timed loops are single-threaded — worker
+//! parallelism is `MemoryExperiment::run`'s concern, not the hot path's.
+//! `CYCLONE_SHOTS` scales the measurement length (CI uses 50).
+
+use decoder::bposd::{BpOsdDecoder, DecodeMethod};
+use decoder::memory::{MemoryExperiment, ShotScratch};
+use decoder::scratch::DecoderScratch;
+use noise::{HardwareNoiseModel, NoiseParameters};
+use qec::codes::bb_72_12_6;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Full-shot throughput measured at the pre-refactor commit (`be2e5a4`, allocating
+/// `sample_one`, per-decode Tanner rebuild, bit-level OSD) on this container:
+/// median of three 20k-shot runs. Kept as the fixed reference point for the
+/// speedup figure reported in `BENCH_decoder.json`.
+const PRE_PR_BASELINE_SHOTS_PER_SEC: f64 = 61_860.0;
+
+/// The physical error rate of the acceptance measurement.
+const P: f64 = 3e-3;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Times `iters` calls of `routine` and returns calls per second.
+fn rate(iters: usize, mut routine: impl FnMut(usize)) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        routine(i);
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let code = bb_72_12_6().expect("valid");
+    let n = code.num_qubits();
+    let decoder = BpOsdDecoder::new(code.hz(), 30);
+    let iters = 40 * bench::shots(); // 16k iterations by default, 2k in CI quick mode
+
+    // --- BP-only: weight-1 errors, cycled over every qubit. -----------------
+    let weight1_syndromes: Vec<Vec<bool>> = (0..n)
+        .map(|q| {
+            let mut e = vec![false; n];
+            e[q] = true;
+            code.z_syndrome(&e)
+        })
+        .collect();
+    let mut scratch = DecoderScratch::new();
+    for s in &weight1_syndromes {
+        let status = decoder.decode_into(s, P, &mut scratch);
+        assert_eq!(status.method, DecodeMethod::BeliefPropagation);
+    }
+    let bp_rate = rate(iters, |i| {
+        let s = &weight1_syndromes[i % weight1_syndromes.len()];
+        black_box(decoder.decode_into(black_box(s), P, &mut scratch));
+    });
+
+    // --- OSD-fallback: syndromes on which BP fails. -------------------------
+    let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5);
+    let mut fallback_syndromes: Vec<Vec<bool>> = Vec::new();
+    while fallback_syndromes.len() < 32 {
+        let e: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.08)).collect();
+        let s = code.z_syndrome(&e);
+        if decoder.decode_into(&s, P, &mut scratch).method == DecodeMethod::OrderedStatistics {
+            fallback_syndromes.push(s);
+        }
+    }
+    let osd_rate = rate(iters / 4, |i| {
+        let s = &fallback_syndromes[i % fallback_syndromes.len()];
+        black_box(decoder.decode_into(black_box(s), P, &mut scratch));
+    });
+
+    // --- Full shots, with the zero-allocation check. ------------------------
+    let model = HardwareNoiseModel::new(NoiseParameters::new(P), 0.0);
+    let exp = MemoryExperiment::new(&code, model, 30);
+    let mut shot_scratch = ShotScratch::new();
+    // Warm up the scratch buffers, including the OSD-fallback path in both sectors
+    // (rare at p = 3e-3, so a burst of high-noise shots forces it deliberately).
+    let noisy = MemoryExperiment::new(
+        &code,
+        HardwareNoiseModel::new(NoiseParameters::new(0.08), 0.0),
+        30,
+    );
+    for shot in 0..256usize {
+        let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5 ^ shot as u64);
+        black_box(noisy.sample_one_with(&mut rng, &mut shot_scratch));
+        black_box(exp.sample_one_with(&mut rng, &mut shot_scratch));
+    }
+    let allocs_before = allocations();
+    let shot_rate = rate(iters, |shot| {
+        let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5 ^ shot as u64);
+        black_box(exp.sample_one_with(&mut rng, &mut shot_scratch));
+    });
+    let steady_state_allocs = allocations() - allocs_before;
+    assert_eq!(
+        steady_state_allocs, 0,
+        "steady-state sample_one_with must not allocate"
+    );
+    let speedup = shot_rate / PRE_PR_BASELINE_SHOTS_PER_SEC;
+
+    println!("decoder hot path, [[72,12,6]] BB code at p = {P:.0e} ({iters} iterations)");
+    println!("  BP-only       {bp_rate:>12.0} decodes/sec");
+    println!("  OSD-fallback  {osd_rate:>12.0} decodes/sec");
+    println!("  full-shot     {shot_rate:>12.0} shots/sec");
+    println!("  steady-state heap allocations per shot: {steady_state_allocs}");
+    println!(
+        "  speedup vs pre-PR baseline ({PRE_PR_BASELINE_SHOTS_PER_SEC:.0} shots/sec): {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"code\": \"{}\",\n  \"p\": {P},\n  \"iterations\": {iters},\n  \
+         \"bp_only_decodes_per_sec\": {bp_rate:.1},\n  \
+         \"osd_fallback_decodes_per_sec\": {osd_rate:.1},\n  \
+         \"full_shot_shots_per_sec\": {shot_rate:.1},\n  \
+         \"steady_state_allocs_per_shot\": {steady_state_allocs},\n  \
+         \"pre_pr_baseline_shots_per_sec\": {PRE_PR_BASELINE_SHOTS_PER_SEC:.1},\n  \
+         \"speedup_vs_pre_pr\": {speedup:.2}\n}}\n",
+        code.descriptor()
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decoder.json");
+    std::fs::write(path, json).expect("write BENCH_decoder.json");
+    println!("  wrote {path}");
+}

@@ -9,6 +9,9 @@
 //!
 //! * `CYCLONE_SHOTS` — Monte-Carlo shots per LER point (default 400; the paper samples
 //!   until `> 10 / LER` shots, which is far more than a CI run should attempt).
+//! * `CYCLONE_THREADS` — Monte-Carlo worker-thread count (default 0 = available
+//!   parallelism). The LER estimate is bit-identical at every setting; pin it in CI
+//!   or on shared machines to bound CPU use.
 //! * `CYCLONE_FULL` — set to `1` to run the full code catalog (including
 //!   `[[625,25,8]]` and `[[144,12,12]]`) instead of the quick subset.
 //! * `CYCLONE_CSV` — set to `1` to print comma-separated values instead of aligned
@@ -31,6 +34,17 @@ pub fn shots_from(raw: Option<&str>) -> usize {
     }
 }
 
+/// Worker-thread count meaning "use available parallelism" (the
+/// [`decoder::memory::MemoryConfig::threads`] convention).
+pub const AUTO_THREADS: usize = 0;
+
+/// Parses a `CYCLONE_THREADS` value: unset, empty, or non-numeric falls back to
+/// [`AUTO_THREADS`] (auto-detect); `"0"` is a valid explicit auto-detect request.
+pub fn threads_from(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(AUTO_THREADS)
+}
+
 /// Parses a boolean `CYCLONE_*` flag: only `"1"` (modulo surrounding
 /// whitespace) enables it.
 pub fn flag_from(raw: Option<&str>) -> bool {
@@ -40,6 +54,11 @@ pub fn flag_from(raw: Option<&str>) -> bool {
 /// Number of Monte-Carlo shots per logical-error-rate point, honoring `CYCLONE_SHOTS`.
 pub fn shots() -> usize {
     shots_from(std::env::var("CYCLONE_SHOTS").ok().as_deref())
+}
+
+/// Monte-Carlo worker-thread count, honoring `CYCLONE_THREADS` (0 = auto).
+pub fn threads() -> usize {
+    threads_from(std::env::var("CYCLONE_THREADS").ok().as_deref())
 }
 
 /// Whether to run the full (slow) code catalog, honoring `CYCLONE_FULL`.
@@ -52,12 +71,14 @@ pub fn csv_output() -> bool {
     flag_from(std::env::var("CYCLONE_CSV").ok().as_deref())
 }
 
-/// The Monte-Carlo configuration used by every LER bench.
+/// The Monte-Carlo configuration used by every LER bench, honoring `CYCLONE_SHOTS`
+/// and `CYCLONE_THREADS`. The estimate itself is thread-count invariant (per-shot
+/// RNG streams), so pinning threads only bounds CPU use.
 pub fn memory_config() -> MemoryConfig {
     MemoryConfig {
         shots: shots(),
         bp_iterations: 30,
-        threads: 0,
+        threads: threads(),
         seed: 0xC1C1_0DE5,
     }
 }
@@ -267,6 +288,22 @@ mod tests {
         assert_eq!(shots_from(Some("1e3")), DEFAULT_SHOTS);
         // Zero shots would panic the LER estimator; treat it as malformed.
         assert_eq!(shots_from(Some("0")), DEFAULT_SHOTS);
+    }
+
+    #[test]
+    fn threads_parsing_defaults_and_overrides() {
+        // Unset → auto-detect.
+        assert_eq!(threads_from(None), AUTO_THREADS);
+        // Explicit pin.
+        assert_eq!(threads_from(Some("4")), 4);
+        assert_eq!(threads_from(Some(" 12 ")), 12);
+        // "0" is a valid explicit auto request, not a malformed value.
+        assert_eq!(threads_from(Some("0")), AUTO_THREADS);
+        // Malformed values fall back to auto instead of erroring.
+        assert_eq!(threads_from(Some("abc")), AUTO_THREADS);
+        assert_eq!(threads_from(Some("")), AUTO_THREADS);
+        assert_eq!(threads_from(Some("-2")), AUTO_THREADS);
+        assert_eq!(threads_from(Some("2.5")), AUTO_THREADS);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! publication-quality sampling.
 
 use crate::codesign::{CycloneCodesign, CycloneConfig};
-use decoder::memory::{logical_error_rate, LerEstimate, MemoryConfig};
+use decoder::memory::{logical_error_rate, LerEstimate, MemoryConfig, MemoryExperiment};
+use noise::{HardwareNoiseModel, NoiseParameters};
 use qccd::compiler::baseline::{compile_baseline, compile_baseline_with_placement};
 use qccd::compiler::dynamic::compile_dynamic;
 use qccd::compiler::variants::{compile_baseline2, compile_baseline3};
@@ -45,6 +46,30 @@ pub fn ler_for_round(
     config: &MemoryConfig,
 ) -> LerEstimate {
     logical_error_rate(code, p, round.execution_time, config)
+}
+
+/// Points an existing experiment at a new `(p, latency)` operating point and runs it.
+///
+/// The sweeps below build one [`MemoryExperiment`] per code and move it between
+/// points with [`MemoryExperiment::set_model`], so the BP+OSD decoders (Tanner-graph
+/// flattening included) are constructed once per code instead of once per point.
+fn ler_at(
+    exp: &mut MemoryExperiment<'_>,
+    p: f64,
+    latency: f64,
+    config: &MemoryConfig,
+) -> LerEstimate {
+    exp.set_model(HardwareNoiseModel::new(NoiseParameters::new(p), latency));
+    exp.run(config)
+}
+
+/// Builds a reusable experiment for sweeping one code across operating points.
+fn sweep_experiment<'a>(code: &'a CssCode, p: f64, config: &MemoryConfig) -> MemoryExperiment<'a> {
+    MemoryExperiment::new(
+        code,
+        HardwareNoiseModel::new(NoiseParameters::new(p), 0.0),
+        config.bp_iterations,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -113,13 +138,14 @@ pub fn fig5_latency_vs_ler(
     let mut rows = Vec::new();
     for code in codes {
         let base = baseline_round(code, &times);
+        let mut exp = sweep_experiment(code, p, config);
         for &s in speedups {
             let latency = base.execution_time / s;
             rows.push(LatencyLerRow {
                 code: code.descriptor(),
                 speedup: s,
                 latency,
-                ler: logical_error_rate(code, p, latency, config),
+                ler: ler_at(&mut exp, p, latency, config),
             });
         }
     }
@@ -193,7 +219,8 @@ pub fn fig9_junction_sensitivity(
 ) -> Vec<JunctionSensitivityRow> {
     let nominal = OperationTimes::default();
     let base = baseline_round(code, &nominal);
-    let baseline_ler = logical_error_rate(code, p, base.execution_time, config);
+    let mut exp = sweep_experiment(code, p, config);
+    let baseline_ler = ler_at(&mut exp, p, base.execution_time, config);
     let mesh = mesh_junction_network(code.num_qubits(), BASELINE_CAPACITY);
     reductions
         .iter()
@@ -203,7 +230,7 @@ pub fn fig9_junction_sensitivity(
             JunctionSensitivityRow {
                 reduction: r,
                 mesh_execution_time: round.execution_time,
-                mesh_ler: logical_error_rate(code, p, round.execution_time, config),
+                mesh_ler: ler_at(&mut exp, p, round.execution_time, config),
                 baseline_ler,
             }
         })
@@ -236,6 +263,7 @@ pub fn fig13_trap_capacity_sweep(
     config: &MemoryConfig,
 ) -> Vec<TrapSensitivityRow> {
     let times = OperationTimes::default();
+    let mut exp = sweep_experiment(code, p, config);
     trap_counts
         .iter()
         .map(|&x| {
@@ -245,7 +273,7 @@ pub fn fig13_trap_capacity_sweep(
                 num_traps: design.num_traps(),
                 trap_capacity: design.trap_capacity(),
                 execution_time: round.execution_time,
-                ler: logical_error_rate(code, p, round.execution_time, config),
+                ler: ler_at(&mut exp, p, round.execution_time, config),
             }
         })
         .collect()
@@ -284,14 +312,15 @@ pub fn ler_comparison(
     for code in codes {
         let base = baseline_round(code, &times);
         let cyc = cyclone_round(code, &times);
+        let mut exp = sweep_experiment(code, ps.first().copied().unwrap_or(1e-3), config);
         for &p in ps {
             rows.push(LerComparisonRow {
                 code: code.descriptor(),
                 p,
                 baseline_latency: base.execution_time,
                 cyclone_latency: cyc.execution_time,
-                baseline_ler: logical_error_rate(code, p, base.execution_time, config),
-                cyclone_ler: logical_error_rate(code, p, cyc.execution_time, config),
+                baseline_ler: ler_at(&mut exp, p, base.execution_time, config),
+                cyclone_ler: ler_at(&mut exp, p, cyc.execution_time, config),
             });
         }
     }
@@ -357,6 +386,7 @@ pub fn fig17_loose_capacity(
     config: &MemoryConfig,
 ) -> Vec<LooseCapacityRow> {
     let times = OperationTimes::default();
+    let mut exp = sweep_experiment(code, p, config);
     capacities
         .iter()
         .map(|&cap| {
@@ -367,7 +397,7 @@ pub fn fig17_loose_capacity(
             LooseCapacityRow {
                 capacity: cap,
                 execution_time: round.execution_time,
-                ler: logical_error_rate(code, p, round.execution_time, config),
+                ler: ler_at(&mut exp, p, round.execution_time, config),
             }
         })
         .collect()
@@ -400,6 +430,7 @@ pub fn fig18_op_time_sweep(
     reductions: &[f64],
     config: &MemoryConfig,
 ) -> Vec<OpTimeSweepRow> {
+    let mut exp = sweep_experiment(code, p, config);
     reductions
         .iter()
         .map(|&r| {
@@ -408,8 +439,8 @@ pub fn fig18_op_time_sweep(
             let cyc = cyclone_round(code, &times);
             OpTimeSweepRow {
                 reduction: r,
-                baseline_ler: logical_error_rate(code, p, base.execution_time, config),
-                cyclone_ler: logical_error_rate(code, p, cyc.execution_time, config),
+                baseline_ler: ler_at(&mut exp, p, base.execution_time, config),
+                cyclone_ler: ler_at(&mut exp, p, cyc.execution_time, config),
                 baseline_latency: base.execution_time,
                 cyclone_latency: cyc.execution_time,
             }

@@ -5,10 +5,16 @@
 //! syndrome `s`, it estimates the posterior log-likelihood ratio of each bit being in
 //! error and a hard decision `ê`. If `H·ê = s` the decoder has converged; otherwise
 //! the caller typically falls back to ordered-statistics decoding ([`crate::osd`]).
+//!
+//! The Tanner graph is flattened to CSR edge arrays once at construction
+//! ([`TannerGraph`]), and the hot path ([`BeliefPropagation::decode_into`]) keeps both
+//! message directions in flat `f64` arenas indexed by edge id, borrowed from a
+//! caller-owned [`DecoderScratch`] — zero heap allocation per decode in steady state.
 
-use crate::sparse::SparseBinMat;
+use crate::scratch::DecoderScratch;
+use crate::sparse::{SparseBinMat, TannerGraph};
 
-/// Result of a BP run.
+/// Result of a BP run (owning variant returned by the allocating wrappers).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BpResult {
     /// Hard-decision error estimate (one entry per column of `H`).
@@ -21,25 +27,39 @@ pub struct BpResult {
     pub iterations: usize,
 }
 
+/// Outcome of a scratch-borrowing BP run; the error estimate and posterior LLRs live
+/// in the [`DecoderScratch`] that was passed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BpStatus {
+    /// Whether the hard decision reproduces the syndrome.
+    pub converged: bool,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
 /// Normalized min-sum belief propagation decoder.
 #[derive(Debug, Clone)]
 pub struct BeliefPropagation {
     h: SparseBinMat,
+    graph: TannerGraph,
     max_iterations: usize,
     /// Min-sum normalization (scaling) factor, typically 0.625–1.0.
     scale: f64,
 }
 
 impl BeliefPropagation {
-    /// Creates a decoder for the given parity-check matrix.
+    /// Creates a decoder for the given parity-check matrix, flattening its Tanner
+    /// graph once so no per-decode adjacency construction is needed.
     ///
     /// # Panics
     ///
     /// Panics if `max_iterations` is zero.
     pub fn new(h: SparseBinMat, max_iterations: usize) -> Self {
         assert!(max_iterations > 0, "need at least one BP iteration");
+        let graph = TannerGraph::new(&h);
         BeliefPropagation {
             h,
+            graph,
             max_iterations,
             scale: 0.75,
         }
@@ -61,10 +81,21 @@ impl BeliefPropagation {
         &self.h
     }
 
+    /// The flattened Tanner graph.
+    pub fn graph(&self) -> &TannerGraph {
+        &self.graph
+    }
+
     /// Runs BP for a syndrome with uniform prior error probability `p`.
     pub fn decode(&self, syndrome: &[bool], p: f64) -> BpResult {
-        let priors = vec![p; self.h.num_cols()];
-        self.decode_with_priors(syndrome, &priors)
+        let mut scratch = DecoderScratch::new();
+        let status = self.decode_into(syndrome, p, &mut scratch);
+        BpResult {
+            error: scratch.error,
+            llrs: scratch.llrs,
+            converged: status.converged,
+            iterations: status.iterations,
+        }
     }
 
     /// Runs BP with per-bit prior error probabilities.
@@ -73,43 +104,100 @@ impl BeliefPropagation {
     ///
     /// Panics if dimensions do not match or a prior is outside `(0, 1)`.
     pub fn decode_with_priors(&self, syndrome: &[bool], priors: &[f64]) -> BpResult {
+        let mut scratch = DecoderScratch::new();
+        let status = self.decode_with_priors_into(syndrome, priors, &mut scratch);
+        BpResult {
+            error: scratch.error,
+            llrs: scratch.llrs,
+            converged: status.converged,
+            iterations: status.iterations,
+        }
+    }
+
+    /// Runs BP for a syndrome with uniform prior error probability `p`, borrowing all
+    /// working buffers from `scratch`.
+    ///
+    /// The uniform channel LLR is cached in the scratch, so repeated decodes at the
+    /// same `p` (the Monte-Carlo steady state) skip the per-bit `ln` recomputation.
+    /// The error estimate and posterior LLRs are left in
+    /// [`DecoderScratch::error`] / [`DecoderScratch::llrs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match or `p` is outside `(0, 1)`.
+    pub fn decode_into(&self, syndrome: &[bool], p: f64, scratch: &mut DecoderScratch) -> BpStatus {
+        let n = self.h.num_cols();
+        assert!(p > 0.0 && p < 1.0, "priors must be in (0,1)");
+        if scratch.cached_uniform != Some((p, n)) {
+            let llr = ((1.0 - p) / p).ln();
+            scratch.channel_llr.clear();
+            scratch.channel_llr.resize(n, llr);
+            scratch.cached_uniform = Some((p, n));
+        }
+        self.propagate(syndrome, scratch)
+    }
+
+    /// Runs BP with per-bit prior error probabilities, borrowing all working buffers
+    /// from `scratch` (see [`BeliefPropagation::decode_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match or a prior is outside `(0, 1)`.
+    pub fn decode_with_priors_into(
+        &self,
+        syndrome: &[bool],
+        priors: &[f64],
+        scratch: &mut DecoderScratch,
+    ) -> BpStatus {
+        let n = self.h.num_cols();
+        assert_eq!(priors.len(), n, "one prior per variable required");
+        scratch.cached_uniform = None;
+        scratch.channel_llr.clear();
+        scratch.channel_llr.extend(priors.iter().map(|&p| {
+            assert!(p > 0.0 && p < 1.0, "priors must be in (0,1)");
+            ((1.0 - p) / p).ln()
+        }));
+        self.propagate(syndrome, scratch)
+    }
+
+    /// The flooding min-sum schedule over the flattened graph. Message accumulation
+    /// visits edges in exactly the order of the historical nested-`Vec`
+    /// implementation (row-major on the check side, ascending-check on the variable
+    /// side), so results are bit-identical to it.
+    fn propagate(&self, syndrome: &[bool], scratch: &mut DecoderScratch) -> BpStatus {
         let m = self.h.num_rows();
         let n = self.h.num_cols();
+        let graph = &self.graph;
         assert_eq!(syndrome.len(), m, "syndrome length must equal number of checks");
-        assert_eq!(priors.len(), n, "one prior per variable required");
-        let channel_llr: Vec<f64> = priors
-            .iter()
-            .map(|&p| {
-                assert!(p > 0.0 && p < 1.0, "priors must be in (0,1)");
-                ((1.0 - p) / p).ln()
-            })
-            .collect();
 
-        // Messages are indexed by (check, position within the check's support).
-        let mut check_to_var: Vec<Vec<f64>> =
-            (0..m).map(|r| vec![0.0; self.h.row(r).len()]).collect();
-        let mut var_to_check: Vec<Vec<f64>> = (0..m)
-            .map(|r| self.h.row(r).iter().map(|&c| channel_llr[c]).collect())
-            .collect();
-        // For variable-side updates we need, per column, the list of (check, slot).
-        let mut col_slots: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        for r in 0..m {
-            for (slot, &c) in self.h.row(r).iter().enumerate() {
-                col_slots[c].push((r, slot));
-            }
-        }
+        let num_edges = graph.num_edges();
+        scratch.check_to_var.clear();
+        scratch.check_to_var.resize(num_edges, 0.0);
+        scratch.var_to_check.clear();
+        scratch
+            .var_to_check
+            .extend((0..num_edges).map(|e| scratch.channel_llr[graph.var_of(e)]));
+        scratch.llrs.clear();
+        scratch.llrs.resize(n, 0.0);
+        scratch.error.clear();
+        scratch.error.resize(n, false);
 
-        let mut llrs = channel_llr.clone();
-        let mut error = vec![false; n];
+        let check_to_var = &mut scratch.check_to_var;
+        let var_to_check = &mut scratch.var_to_check;
+        let llrs = &mut scratch.llrs;
+        let error = &mut scratch.error;
+        let channel_llr = &scratch.channel_llr;
+
         for iteration in 1..=self.max_iterations {
             // Check-node update (min-sum with sign handling and syndrome parity).
-            for r in 0..m {
-                let incoming = &var_to_check[r];
-                let mut total_sign = if syndrome[r] { -1.0f64 } else { 1.0 };
+            for (r, &syn) in syndrome.iter().enumerate() {
+                let edges = graph.check_edges(r);
+                let mut total_sign = if syn { -1.0f64 } else { 1.0 };
                 let mut min1 = f64::INFINITY;
                 let mut min2 = f64::INFINITY;
-                let mut min1_slot = usize::MAX;
-                for (slot, &msg) in incoming.iter().enumerate() {
+                let mut min1_edge = usize::MAX;
+                for e in edges.clone() {
+                    let msg = var_to_check[e];
                     if msg < 0.0 {
                         total_sign = -total_sign;
                     }
@@ -117,42 +205,46 @@ impl BeliefPropagation {
                     if mag < min1 {
                         min2 = min1;
                         min1 = mag;
-                        min1_slot = slot;
+                        min1_edge = e;
                     } else if mag < min2 {
                         min2 = mag;
                     }
                 }
-                for (slot, out) in check_to_var[r].iter_mut().enumerate() {
-                    let msg = incoming[slot];
+                for e in edges {
+                    let msg = var_to_check[e];
                     let sign_excl = if msg < 0.0 { -total_sign } else { total_sign };
-                    let mag_excl = if slot == min1_slot { min2 } else { min1 };
-                    *out = self.scale * sign_excl * mag_excl;
+                    let mag_excl = if e == min1_edge { min2 } else { min1 };
+                    check_to_var[e] = self.scale * sign_excl * mag_excl;
                 }
             }
             // Variable-node update and hard decision.
             for c in 0..n {
                 let mut total = channel_llr[c];
-                for &(r, slot) in &col_slots[c] {
-                    total += check_to_var[r][slot];
+                for &e in graph.var_edges(c) {
+                    total += check_to_var[e];
                 }
                 llrs[c] = total;
                 error[c] = total < 0.0;
-                for &(r, slot) in &col_slots[c] {
-                    var_to_check[r][slot] = total - check_to_var[r][slot];
+                for &e in graph.var_edges(c) {
+                    var_to_check[e] = total - check_to_var[e];
                 }
             }
-            if self.h.syndrome(&error) == syndrome {
-                return BpResult {
-                    error,
-                    llrs,
+            // Convergence: does the hard decision reproduce the syndrome?
+            let matches = syndrome.iter().enumerate().all(|(r, &syn)| {
+                let mut parity = false;
+                for e in graph.check_edges(r) {
+                    parity ^= error[graph.var_of(e)];
+                }
+                parity == syn
+            });
+            if matches {
+                return BpStatus {
                     converged: true,
                     iterations: iteration,
                 };
             }
         }
-        BpResult {
-            error,
-            llrs,
+        BpStatus {
             converged: false,
             iterations: self.max_iterations,
         }
@@ -238,5 +330,44 @@ mod tests {
         let h = repetition_check(3);
         let bp = BeliefPropagation::new(h, 5);
         let _ = bp.decode_with_priors(&[false, false], &[0.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_decode() {
+        let h = repetition_check(7);
+        let bp = BeliefPropagation::new(h.clone(), 30);
+        let mut scratch = DecoderScratch::new();
+        for bit in 0..7 {
+            let mut e = vec![false; 7];
+            e[bit] = true;
+            let s = h.syndrome(&e);
+            let fresh = bp.decode(&s, 0.05);
+            let status = bp.decode_into(&s, 0.05, &mut scratch);
+            assert_eq!(status.converged, fresh.converged);
+            assert_eq!(status.iterations, fresh.iterations);
+            assert_eq!(scratch.error(), fresh.error.as_slice());
+            assert_eq!(scratch.llrs(), fresh.llrs.as_slice());
+        }
+    }
+
+    #[test]
+    fn uniform_llr_cache_invalidated_by_p_and_priors() {
+        let h = repetition_check(5);
+        let bp = BeliefPropagation::new(h.clone(), 20);
+        let mut e = vec![false; 5];
+        e[2] = true;
+        let s = h.syndrome(&e);
+        let mut scratch = DecoderScratch::new();
+        let a = bp.decode_into(&s, 0.05, &mut scratch);
+        // Different p must refresh the cached channel LLR.
+        let b = bp.decode_into(&s, 0.01, &mut scratch);
+        assert_eq!(scratch.error(), bp.decode(&s, 0.01).error.as_slice());
+        // A priors decode in between must not poison the uniform cache.
+        let _ = bp.decode_with_priors_into(&s, &[0.3, 0.3, 0.3, 0.3, 0.3], &mut scratch);
+        let c = bp.decode_into(&s, 0.05, &mut scratch);
+        assert_eq!(a.converged, c.converged);
+        assert_eq!(a.iterations, c.iterations);
+        assert_eq!(scratch.error(), bp.decode(&s, 0.05).error.as_slice());
+        assert!(b.converged);
     }
 }

@@ -6,8 +6,9 @@
 //! statistics post-processing whenever BP fails to reproduce the syndrome (see
 //! DESIGN.md, substitution 2).
 
-use crate::bp::{BeliefPropagation, BpResult};
+use crate::bp::BeliefPropagation;
 use crate::osd::OsdDecoder;
+use crate::scratch::DecoderScratch;
 use crate::sparse::SparseBinMat;
 use qec::linalg::BitMat;
 
@@ -20,11 +21,21 @@ pub enum DecodeMethod {
     OrderedStatistics,
 }
 
-/// Outcome of a BP+OSD decode.
+/// Outcome of a BP+OSD decode (owning variant returned by the allocating wrapper).
 #[derive(Debug, Clone)]
 pub struct Decode {
     /// The estimated error pattern.
     pub error: Vec<bool>,
+    /// Which stage produced the estimate.
+    pub method: DecodeMethod,
+    /// BP iterations used.
+    pub iterations: usize,
+}
+
+/// Outcome of a scratch-borrowing BP+OSD decode; the error pattern lives in the
+/// [`DecoderScratch`] that was passed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeStatus {
     /// Which stage produced the estimate.
     pub method: DecodeMethod,
     /// BP iterations used.
@@ -47,6 +58,12 @@ impl BpOsdDecoder {
         }
     }
 
+    /// The parity-check matrix in the sparse form used by belief propagation (handy
+    /// for allocation-free syndrome computation alongside `decode_into`).
+    pub fn check_matrix(&self) -> &SparseBinMat {
+        self.bp.matrix()
+    }
+
     /// Decodes `syndrome` assuming a uniform prior error probability `p` per bit.
     ///
     /// Always returns an error pattern whose syndrome matches (OSD guarantees a
@@ -57,23 +74,47 @@ impl BpOsdDecoder {
     ///
     /// Panics if the syndrome length does not match the number of checks.
     pub fn decode(&self, syndrome: &[bool], p: f64) -> Decode {
-        let bp_result: BpResult = self.bp.decode(syndrome, p);
-        if bp_result.converged {
-            return Decode {
-                error: bp_result.error,
+        let mut scratch = DecoderScratch::new();
+        let status = self.decode_into(syndrome, p, &mut scratch);
+        Decode {
+            error: scratch.error,
+            method: status.method,
+            iterations: status.iterations,
+        }
+    }
+
+    /// Scratch-borrowing variant of [`BpOsdDecoder::decode`]: the error pattern is
+    /// left in [`DecoderScratch::error`]. When BP fails to converge and the OSD
+    /// fallback finds the syndrome inconsistent (impossible for physically produced
+    /// syndromes), the BP hard decision is left in place, mirroring the allocating
+    /// path's fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match the number of checks.
+    pub fn decode_into(
+        &self,
+        syndrome: &[bool],
+        p: f64,
+        scratch: &mut DecoderScratch,
+    ) -> DecodeStatus {
+        let bp_status = self.bp.decode_into(syndrome, p, scratch);
+        if bp_status.converged {
+            return DecodeStatus {
                 method: DecodeMethod::BeliefPropagation,
-                iterations: bp_result.iterations,
+                iterations: bp_status.iterations,
             };
         }
-        let suspicion: Vec<f64> = bp_result.llrs.iter().map(|&l| -l).collect();
-        let error = self
-            .osd
-            .decode(syndrome, &suspicion)
-            .unwrap_or(bp_result.error);
-        Decode {
-            error,
+        // Move the suspicion buffer out so the scratch can be lent to OSD while the
+        // scores are read from it (the buffer is returned below — no allocation).
+        let mut suspicion = std::mem::take(&mut scratch.suspicion);
+        suspicion.clear();
+        suspicion.extend(scratch.llrs.iter().map(|&l| -l));
+        let _ = self.osd.decode_into(syndrome, &suspicion, scratch);
+        scratch.suspicion = suspicion;
+        DecodeStatus {
             method: DecodeMethod::OrderedStatistics,
-            iterations: bp_result.iterations,
+            iterations: bp_status.iterations,
         }
     }
 }
@@ -132,6 +173,28 @@ mod tests {
             let s = code.x_syndrome(&e);
             let d = dec.decode(&s, 0.05);
             assert_eq!(code.x_syndrome(&d.error), s);
+        }
+    }
+
+    #[test]
+    fn decode_into_reuses_scratch_across_sectors() {
+        // One scratch bounced between the X- and Z-sector decoders (different row
+        // counts, same column count) must keep matching the allocating path.
+        let code = bb_72_12_6().expect("valid");
+        let dec_z = BpOsdDecoder::new(code.hz(), 18);
+        let dec_x = BpOsdDecoder::new(code.hx(), 18);
+        let n = code.num_qubits();
+        let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5);
+        let mut scratch = DecoderScratch::new();
+        for _ in 0..12 {
+            let e: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.04)).collect();
+            for (dec, s) in [(&dec_z, code.z_syndrome(&e)), (&dec_x, code.x_syndrome(&e))] {
+                let fresh = dec.decode(&s, 0.04);
+                let status = dec.decode_into(&s, 0.04, &mut scratch);
+                assert_eq!(status.method, fresh.method);
+                assert_eq!(status.iterations, fresh.iterations);
+                assert_eq!(scratch.error(), fresh.error.as_slice());
+            }
         }
     }
 

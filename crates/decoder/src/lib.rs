@@ -2,9 +2,11 @@
 //!
 //! This crate provides the decoding substrate of the Cyclone reproduction:
 //!
-//! * a sparse binary matrix type for Tanner graphs ([`sparse`]),
+//! * a sparse binary matrix type and flattened (CSR) Tanner graphs ([`sparse`]),
 //! * normalized min-sum belief propagation ([`bp`]) with an ordered-statistics
 //!   fallback ([`osd`]), combined in [`bposd`],
+//! * reusable decode workspaces ([`scratch`]) backing the allocation-free
+//!   `decode_into` hot paths,
 //! * a circuit-level Pauli-frame simulator for syndrome-extraction circuits
 //!   ([`pauli`]),
 //! * and the Monte-Carlo logical-memory harness that couples compiled execution
@@ -32,8 +34,10 @@ pub mod bposd;
 pub mod memory;
 pub mod osd;
 pub mod pauli;
+pub mod scratch;
 pub mod sparse;
 
 pub use bposd::BpOsdDecoder;
-pub use memory::{logical_error_rate, LerEstimate, MemoryConfig, MemoryExperiment};
+pub use memory::{logical_error_rate, LerEstimate, MemoryConfig, MemoryExperiment, ShotScratch};
 pub use pauli::{CircuitNoise, PauliFrameSimulator};
+pub use scratch::DecoderScratch;

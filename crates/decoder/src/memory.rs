@@ -7,9 +7,12 @@
 //! drives independent X/Z error sampling, BP+OSD decoding, and logical-failure
 //! counting (see DESIGN.md, substitution 3). Sampling is parallelized with `std`
 //! scoped threads; every shot derives its own RNG stream from the base seed, so the
-//! estimate is identical for any worker count.
+//! estimate is identical for any worker count. Each worker owns a [`ShotScratch`]
+//! (error/syndrome/residual buffers plus one [`DecoderScratch`] per sector decoder),
+//! so steady-state sampling performs zero heap allocation.
 
 use crate::bposd::BpOsdDecoder;
+use crate::scratch::DecoderScratch;
 use noise::HardwareNoiseModel;
 use qec::CssCode;
 use rand::rngs::StdRng;
@@ -36,7 +39,9 @@ impl LerEstimate {
         assert!(shots > 0, "need at least one shot");
         let raw = failures as f64 / shots as f64;
         let ler = if failures == 0 { 0.5 / shots as f64 } else { raw };
-        let std_err = (raw * (1.0 - raw) / shots as f64).sqrt();
+        // The standard error is computed from the (possibly floored) estimate, so a
+        // zero-failure point carries a nonzero uncertainty instead of std_err = 0.
+        let std_err = (ler * (1.0 - ler) / shots as f64).sqrt();
         LerEstimate {
             shots,
             failures,
@@ -101,6 +106,26 @@ impl MemoryConfig {
     }
 }
 
+/// Per-worker sampling workspace: one [`DecoderScratch`] per sector decoder plus the
+/// error/syndrome/residual buffers of a shot, so [`MemoryExperiment::sample_one_with`]
+/// performs zero heap allocation in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ShotScratch {
+    x_decode: DecoderScratch,
+    z_decode: DecoderScratch,
+    x_error: Vec<bool>,
+    z_error: Vec<bool>,
+    syndrome: Vec<bool>,
+    residual: Vec<bool>,
+}
+
+impl ShotScratch {
+    /// Creates an empty workspace; buffers are sized on first shot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A logical-memory experiment for one code under one hardware noise model.
 #[derive(Debug)]
 pub struct MemoryExperiment<'a> {
@@ -122,57 +147,76 @@ impl<'a> MemoryExperiment<'a> {
         }
     }
 
+    /// Replaces the noise model, keeping the (expensive-to-build) sector decoders.
+    ///
+    /// Latency and error-rate sweeps over one code should construct a single
+    /// experiment and call this between points instead of rebuilding everything.
+    pub fn set_model(&mut self, model: HardwareNoiseModel) {
+        self.model = model;
+    }
+
     /// The effective per-qubit, per-round error rate driving the sampling.
     pub fn effective_error_rate(&self) -> f64 {
         self.model.effective_error_rate()
     }
 
     /// Runs one shot with the given RNG; returns `true` when a logical error occurred.
+    ///
+    /// Allocating convenience wrapper around [`MemoryExperiment::sample_one_with`].
     pub fn sample_one<R: Rng>(&self, rng: &mut R) -> bool {
+        self.sample_one_with(rng, &mut ShotScratch::new())
+    }
+
+    /// Runs one shot with the given RNG, borrowing all working buffers from
+    /// `scratch`; returns `true` when a logical error occurred. In steady state
+    /// (after the first shot has sized the buffers) this performs no heap allocation.
+    pub fn sample_one_with<R: Rng>(&self, rng: &mut R, scratch: &mut ShotScratch) -> bool {
         let n = self.code.num_qubits();
         let p = self.effective_error_rate();
         // Depolarizing channel: X, Y, Z each with p/3. X-frame = X or Y; Z-frame = Z or Y.
-        let mut x_error = vec![false; n];
-        let mut z_error = vec![false; n];
+        scratch.x_error.clear();
+        scratch.x_error.resize(n, false);
+        scratch.z_error.clear();
+        scratch.z_error.resize(n, false);
         for q in 0..n {
             if rng.gen_bool(p.min(0.75)) {
                 match rng.gen_range(0..3) {
-                    0 => x_error[q] = true,
-                    1 => z_error[q] = true,
+                    0 => scratch.x_error[q] = true,
+                    1 => scratch.z_error[q] = true,
                     _ => {
-                        x_error[q] = true;
-                        z_error[q] = true;
+                        scratch.x_error[q] = true;
+                        scratch.z_error[q] = true;
                     }
                 }
             }
         }
+        let p_decode = p.clamp(1e-9, 0.45);
         // X errors are detected by Z stabilizers and corrected by the X decoder.
-        let z_syndrome = self.code.z_syndrome(&x_error);
-        let x_correction = self.x_decoder.decode(&z_syndrome, p.clamp(1e-9, 0.45)).error;
-        let x_residual: Vec<bool> = x_error
-            .iter()
-            .zip(&x_correction)
-            .map(|(&a, &b)| a ^ b)
-            .collect();
-        if self.code.x_error_is_logical(&x_residual) {
+        self.x_decoder
+            .check_matrix()
+            .syndrome_into(&scratch.x_error, &mut scratch.syndrome);
+        self.x_decoder
+            .decode_into(&scratch.syndrome, p_decode, &mut scratch.x_decode);
+        xor_into(&scratch.x_error, scratch.x_decode.error(), &mut scratch.residual);
+        if self.code.x_error_is_logical(&scratch.residual) {
             return true;
         }
         // Z errors are detected by X stabilizers.
-        let x_syndrome = self.code.x_syndrome(&z_error);
-        let z_correction = self.z_decoder.decode(&x_syndrome, p.clamp(1e-9, 0.45)).error;
-        let z_residual: Vec<bool> = z_error
-            .iter()
-            .zip(&z_correction)
-            .map(|(&a, &b)| a ^ b)
-            .collect();
-        self.code.z_error_is_logical(&z_residual)
+        self.z_decoder
+            .check_matrix()
+            .syndrome_into(&scratch.z_error, &mut scratch.syndrome);
+        self.z_decoder
+            .decode_into(&scratch.syndrome, p_decode, &mut scratch.z_decode);
+        xor_into(&scratch.z_error, scratch.z_decode.error(), &mut scratch.residual);
+        self.code.z_error_is_logical(&scratch.residual)
     }
 
     /// Runs the full Monte-Carlo experiment in parallel and returns the LER estimate.
     ///
     /// Each shot is seeded independently from [`MemoryConfig::seed`], so the estimate
     /// is bit-identical for every `threads` setting (workers pull shots from a shared
-    /// counter purely for load balancing).
+    /// counter purely for load balancing). Every worker owns one [`ShotScratch`], so
+    /// sampling allocates only at worker startup, never per shot.
     pub fn run(&self, config: &MemoryConfig) -> LerEstimate {
         let workers = config.worker_count().max(1);
         let shots = config.shots;
@@ -181,6 +225,7 @@ impl<'a> MemoryExperiment<'a> {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let mut scratch = ShotScratch::new();
                     let mut local_failures = 0usize;
                     loop {
                         let shot = next_shot.fetch_add(1, Ordering::Relaxed);
@@ -188,7 +233,7 @@ impl<'a> MemoryExperiment<'a> {
                             break;
                         }
                         let mut rng = StdRng::seed_from_u64(config.shot_seed(shot));
-                        if self.sample_one(&mut rng) {
+                        if self.sample_one_with(&mut rng, &mut scratch) {
                             local_failures += 1;
                         }
                     }
@@ -198,6 +243,13 @@ impl<'a> MemoryExperiment<'a> {
         });
         LerEstimate::from_counts(shots.max(1), failures.load(Ordering::Relaxed))
     }
+}
+
+/// XORs two equal-length slices into a reused output buffer.
+fn xor_into(a: &[bool], b: &[bool], out: &mut Vec<bool>) {
+    debug_assert_eq!(a.len(), b.len());
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(&x, &y)| x ^ y));
 }
 
 /// Convenience: estimate the LER of `code` for a round that takes `latency` seconds at
@@ -290,5 +342,54 @@ mod tests {
         let zero = LerEstimate::from_counts(1000, 0);
         assert!(zero.is_upper_bound());
         assert!(zero.ler > 0.0);
+    }
+
+    #[test]
+    fn zero_failure_estimate_carries_nonzero_std_err() {
+        // Regression: std_err used to come from the raw (zero) failure fraction, so
+        // zero-failure points plotted with zero uncertainty despite the ler floor.
+        let zero = LerEstimate::from_counts(400, 0);
+        assert!(zero.std_err > 0.0, "floored estimate must have nonzero std_err");
+        let expected = (zero.ler * (1.0 - zero.ler) / 400.0).sqrt();
+        assert_eq!(zero.std_err, expected);
+        // Nonzero-failure points are unchanged: ler equals the raw fraction.
+        let some = LerEstimate::from_counts(1000, 10);
+        assert_eq!(some.std_err, (0.01f64 * 0.99 / 1000.0).sqrt());
+    }
+
+    #[test]
+    fn scratch_sampling_matches_allocating_sampling() {
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(6e-3), 2e-3);
+        let exp = MemoryExperiment::new(&code, model, 20);
+        let mut scratch = ShotScratch::new();
+        for shot in 0..40u64 {
+            let mut rng_a = StdRng::seed_from_u64(0xC1C1_0DE5 ^ shot);
+            let mut rng_b = StdRng::seed_from_u64(0xC1C1_0DE5 ^ shot);
+            assert_eq!(
+                exp.sample_one(&mut rng_a),
+                exp.sample_one_with(&mut rng_b, &mut scratch),
+                "shot {shot} diverged between allocating and scratch paths"
+            );
+        }
+    }
+
+    #[test]
+    fn set_model_matches_fresh_experiment() {
+        let code = bb_72_12_6().expect("valid");
+        let cfg = MemoryConfig {
+            shots: 120,
+            ..Default::default()
+        };
+        let fresh = logical_error_rate(&code, 5e-3, 0.1, &cfg);
+        let mut exp = MemoryExperiment::new(
+            &code,
+            HardwareNoiseModel::new(NoiseParameters::new(5e-3), 0.0),
+            cfg.bp_iterations,
+        );
+        exp.set_model(HardwareNoiseModel::new(NoiseParameters::new(5e-3), 0.1));
+        let reused = exp.run(&cfg);
+        assert_eq!(fresh.failures, reused.failures);
+        assert_eq!(fresh.ler, reused.ler);
     }
 }

@@ -1,0 +1,80 @@
+//! Reusable decoder workspaces.
+//!
+//! [`DecoderScratch`] owns every working buffer the BP / OSD / BP+OSD hot paths need:
+//! the flat message arenas of belief propagation, the channel-LLR vector (with a
+//! cached uniform-prior fill), and the ordered-statistics column permutation and
+//! word-packed augmented matrix. The `decode_into` entry points of
+//! [`crate::bp::BeliefPropagation`], [`crate::osd::OsdDecoder`], and
+//! [`crate::bposd::BpOsdDecoder`] borrow all of their state from one of these, so a
+//! caller that keeps a scratch alive (one per worker thread, typically) performs zero
+//! heap allocation per decode in steady state: buffers are grown on first use and
+//! reused — never shrunk — afterwards.
+
+/// A caller-owned workspace for the BP / OSD / BP+OSD `decode_into` paths.
+///
+/// Create one with [`DecoderScratch::new`] and pass it to every decode; the buffers
+/// size themselves to the decoder on first use. A single scratch may be moved freely
+/// between decoders of different shapes (buffers regrow as needed), but steady-state
+/// zero allocation requires dedicating one scratch per decoder, as
+/// [`crate::memory::ShotScratch`] does for the X/Z sector pair.
+#[derive(Debug, Clone, Default)]
+pub struct DecoderScratch {
+    // Belief propagation -----------------------------------------------------
+    /// Per-variable channel log-likelihood ratios.
+    pub(crate) channel_llr: Vec<f64>,
+    /// Cache key for `channel_llr` when it holds a uniform-prior fill: `(p, n)`.
+    pub(crate) cached_uniform: Option<(f64, usize)>,
+    /// Check→variable messages, indexed by Tanner-graph edge id.
+    pub(crate) check_to_var: Vec<f64>,
+    /// Variable→check messages, indexed by Tanner-graph edge id.
+    pub(crate) var_to_check: Vec<f64>,
+    /// Posterior log-likelihood ratios (one per variable).
+    pub(crate) llrs: Vec<f64>,
+    /// Hard-decision error estimate; also receives the OSD solution.
+    pub(crate) error: Vec<bool>,
+    // Ordered statistics -----------------------------------------------------
+    /// Per-variable suspicion scores handed from BP to OSD.
+    pub(crate) suspicion: Vec<f64>,
+    /// Column permutation, most suspicious first.
+    pub(crate) order: Vec<usize>,
+    /// Word-packed augmented matrix `[H(ordered) | s]`, row-major.
+    pub(crate) aug: Vec<u64>,
+    /// Pivot column (in permuted coordinates) of each pivot row, in row order.
+    pub(crate) pivot_cols: Vec<usize>,
+    /// OSD solution in permuted coordinates.
+    pub(crate) solution_ordered: Vec<bool>,
+}
+
+impl DecoderScratch {
+    /// Creates an empty workspace; buffers are sized on first decode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The error estimate produced by the most recent `decode_into` call.
+    ///
+    /// After [`crate::bp::BeliefPropagation::decode_into`] this is the BP hard
+    /// decision; after [`crate::osd::OsdDecoder::decode_into`] returns `true`, or
+    /// after [`crate::bposd::BpOsdDecoder::decode_into`], it is the final solution.
+    pub fn error(&self) -> &[bool] {
+        &self.error
+    }
+
+    /// The posterior log-likelihood ratios of the most recent BP run.
+    pub fn llrs(&self) -> &[f64] {
+        &self.llrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_scratch_is_empty() {
+        let s = DecoderScratch::new();
+        assert!(s.error().is_empty());
+        assert!(s.llrs().is_empty());
+        assert!(s.cached_uniform.is_none());
+    }
+}

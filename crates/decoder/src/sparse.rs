@@ -81,9 +81,117 @@ impl SparseBinMat {
             .collect()
     }
 
+    /// Computes the syndrome `H·e` into a caller-owned buffer (no allocation once the
+    /// buffer has reached `num_rows` capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `error.len() != num_cols`.
+    pub fn syndrome_into(&self, error: &[bool], out: &mut Vec<bool>) {
+        assert_eq!(error.len(), self.num_cols, "error length mismatch");
+        out.clear();
+        out.extend(
+            self.rows
+                .iter()
+                .map(|row| row.iter().fold(false, |acc, &c| acc ^ error[c])),
+        );
+    }
+
     /// Returns a dense copy.
     pub fn to_bitmat(&self) -> BitMat {
         BitMat::from_row_supports(self.num_rows, self.num_cols, &self.rows)
+    }
+}
+
+/// A flattened (CSR-style) Tanner graph derived from a [`SparseBinMat`].
+///
+/// Edges (nonzero entries of `H`) are numbered row-major: edge ids of check `r` are
+/// the contiguous range `row_ptr[r]..row_ptr[r + 1]`, and `col_of_edge` maps each edge
+/// to its variable. The column side indexes the *same* edge ids, grouped per variable
+/// in ascending-check order, so belief propagation can store both message directions
+/// in two flat `f64` arenas indexed by edge id — no per-decode adjacency rebuild and
+/// no nested `Vec`s on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TannerGraph {
+    num_checks: usize,
+    num_vars: usize,
+    row_ptr: Vec<usize>,
+    col_of_edge: Vec<usize>,
+    col_ptr: Vec<usize>,
+    col_edges: Vec<usize>,
+}
+
+impl TannerGraph {
+    /// Flattens the Tanner graph of a parity-check matrix.
+    pub fn new(h: &SparseBinMat) -> Self {
+        let m = h.num_rows();
+        let n = h.num_cols();
+        let mut row_ptr = Vec::with_capacity(m + 1);
+        let mut col_of_edge = Vec::with_capacity(h.num_entries());
+        row_ptr.push(0);
+        for r in 0..m {
+            col_of_edge.extend_from_slice(h.row(r));
+            row_ptr.push(col_of_edge.len());
+        }
+        // Column-side edge index: bucket edge ids by variable. Scanning edges in
+        // ascending id order fills each bucket in ascending-check order, matching the
+        // iteration order of the per-decode `col_slots` rebuild this replaces (so
+        // floating-point accumulation order — and thus every LER estimate — is
+        // bit-identical).
+        let mut col_ptr = vec![0usize; n + 1];
+        for &c in &col_of_edge {
+            col_ptr[c + 1] += 1;
+        }
+        for c in 0..n {
+            col_ptr[c + 1] += col_ptr[c];
+        }
+        let mut fill = col_ptr.clone();
+        let mut col_edges = vec![0usize; col_of_edge.len()];
+        for (e, &c) in col_of_edge.iter().enumerate() {
+            col_edges[fill[c]] = e;
+            fill[c] += 1;
+        }
+        TannerGraph {
+            num_checks: m,
+            num_vars: n,
+            row_ptr,
+            col_of_edge,
+            col_ptr,
+            col_edges,
+        }
+    }
+
+    /// Number of checks (rows of `H`).
+    pub fn num_checks(&self) -> usize {
+        self.num_checks
+    }
+
+    /// Number of variables (columns of `H`).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Total number of edges (nonzero entries of `H`).
+    pub fn num_edges(&self) -> usize {
+        self.col_of_edge.len()
+    }
+
+    /// The contiguous edge-id range of check `r`.
+    #[inline]
+    pub fn check_edges(&self, r: usize) -> std::ops::Range<usize> {
+        self.row_ptr[r]..self.row_ptr[r + 1]
+    }
+
+    /// The variable an edge touches.
+    #[inline]
+    pub fn var_of(&self, edge: usize) -> usize {
+        self.col_of_edge[edge]
+    }
+
+    /// The edge ids incident to variable `c`, in ascending-check order.
+    #[inline]
+    pub fn var_edges(&self, c: usize) -> &[usize] {
+        &self.col_edges[self.col_ptr[c]..self.col_ptr[c + 1]]
     }
 }
 
@@ -114,5 +222,40 @@ mod tests {
         let s = SparseBinMat::from_row_supports(3, vec![vec![0, 2], vec![1, 2]]);
         assert_eq!(s.col(2), &[0, 1]);
         assert_eq!(s.col(0), &[0]);
+    }
+
+    #[test]
+    fn syndrome_into_matches_allocating_syndrome() {
+        let m = BitMat::from_dense(&[vec![1, 1, 0], vec![0, 1, 1]]);
+        let s = SparseBinMat::from_bitmat(&m);
+        let e = vec![true, false, true];
+        let mut out = vec![true; 7]; // stale, over-long contents must be replaced
+        s.syndrome_into(&e, &mut out);
+        assert_eq!(out, s.syndrome(&e));
+    }
+
+    #[test]
+    fn tanner_graph_flattens_both_sides() {
+        // H = [1 0 1; 0 1 1] → edges 0:(r0,c0) 1:(r0,c2) 2:(r1,c1) 3:(r1,c2)
+        let s = SparseBinMat::from_row_supports(3, vec![vec![0, 2], vec![1, 2]]);
+        let g = TannerGraph::new(&s);
+        assert_eq!(g.num_checks(), 2);
+        assert_eq!(g.num_vars(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.check_edges(0), 0..2);
+        assert_eq!(g.check_edges(1), 2..4);
+        assert_eq!(g.var_of(1), 2);
+        assert_eq!(g.var_edges(2), &[1, 3]);
+        assert_eq!(g.var_edges(0), &[0]);
+        assert_eq!(g.var_edges(1), &[2]);
+    }
+
+    #[test]
+    fn tanner_graph_column_order_is_check_ascending() {
+        let s = SparseBinMat::from_row_supports(2, vec![vec![0], vec![0], vec![0, 1]]);
+        let g = TannerGraph::new(&s);
+        // Column 0 is touched by checks 0, 1, 2 via edges 0, 1, 2 in that order.
+        assert_eq!(g.var_edges(0), &[0, 1, 2]);
+        assert_eq!(g.var_of(2), 0);
     }
 }

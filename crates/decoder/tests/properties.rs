@@ -1,8 +1,10 @@
 //! Property-based tests of the decoding substrate: BP+OSD correctness invariants and
 //! noise-model monotonicity at the memory-experiment level.
 
-use decoder::bposd::BpOsdDecoder;
+use decoder::bp::BeliefPropagation;
+use decoder::bposd::{BpOsdDecoder, DecodeMethod};
 use decoder::memory::{MemoryConfig, MemoryExperiment};
+use decoder::scratch::DecoderScratch;
 use decoder::sparse::SparseBinMat;
 use noise::{HardwareNoiseModel, NoiseParameters};
 use proptest::prelude::*;
@@ -53,6 +55,50 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let e: Vec<bool> = (0..h.num_cols()).map(|_| rng.gen_bool(0.3)).collect();
         prop_assert_eq!(sparse.syndrome(&e), h.mul_vec(&e));
+    }
+
+    #[test]
+    fn decode_into_is_bit_identical_to_allocating_decode(
+        seed in 0u64..60,
+        p in 0.005f64..0.2,
+        bp_iterations in 1usize..12,
+    ) {
+        // One dirty scratch reused across every case, matrix size, and decoder —
+        // exactly the Monte-Carlo steady state. Low iteration caps make the OSD
+        // fallback fire often; low error weights keep BP-converged cases common.
+        let c = ClassicalCode::gallager_ldpc(8 + 4 * (seed % 2) as usize, 3, 4, seed % 11);
+        let code = square_hypergraph_product(&c).expect("valid");
+        let h = code.hz();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = code.num_qubits();
+        let error: Vec<bool> = (0..n).map(|_| rng.gen_bool(p)).collect();
+        let syndrome = code.z_syndrome(&error);
+
+        let bp = BeliefPropagation::new(SparseBinMat::from_bitmat(h), bp_iterations);
+        let bp_legacy = bp.decode(&syndrome, p);
+        let mut scratch = DecoderScratch::new();
+        let bp_status = bp.decode_into(&syndrome, p, &mut scratch);
+        prop_assert_eq!(bp_status.converged, bp_legacy.converged);
+        prop_assert_eq!(bp_status.iterations, bp_legacy.iterations);
+        prop_assert_eq!(scratch.error(), bp_legacy.error.as_slice());
+        prop_assert_eq!(scratch.llrs(), bp_legacy.llrs.as_slice());
+
+        // Full BP+OSD through the *same* (now dirty) scratch: both the converged
+        // and the fallback branch must match the allocating path bit for bit.
+        let dec = BpOsdDecoder::new(h, bp_iterations);
+        let legacy = dec.decode(&syndrome, p);
+        let status = dec.decode_into(&syndrome, p, &mut scratch);
+        prop_assert_eq!(status.method, legacy.method);
+        prop_assert_eq!(status.iterations, legacy.iterations);
+        prop_assert_eq!(scratch.error(), legacy.error.as_slice());
+        if !bp_legacy.converged {
+            prop_assert_eq!(status.method, DecodeMethod::OrderedStatistics);
+        }
+        // And a second decode of the same syndrome through the warm scratch (the
+        // cached uniform channel LLR path) must be stable.
+        let again = dec.decode_into(&syndrome, p, &mut scratch);
+        prop_assert_eq!(again.method, status.method);
+        prop_assert_eq!(scratch.error(), legacy.error.as_slice());
     }
 
     #[test]

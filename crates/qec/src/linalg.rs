@@ -121,6 +121,27 @@ impl BitMat {
         self.cols
     }
 
+    /// Number of `u64` storage words per row.
+    ///
+    /// Together with [`BitMat::row_words`] this exposes the packed representation to
+    /// word-level consumers (e.g. the OSD decoder's augmented-matrix construction);
+    /// bit `c` of a row lives in word `c / 64` at bit position `c % 64`.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed storage words of row `r` (bit `c` at word `c / 64`, bit `c % 64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row index {r} out of bounds");
+        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
     /// Returns the bit at `(r, c)`.
     ///
     /// # Panics
@@ -619,6 +640,18 @@ mod tests {
         let v = a.vconcat(&BitMat::identity(2));
         assert_eq!(v.shape(), (4, 2));
         assert_eq!(v.rank(), 2);
+    }
+
+    #[test]
+    fn row_words_expose_packed_bits() {
+        let mut m = BitMat::zeros(2, 70);
+        m.set(1, 0, true);
+        m.set(1, 65, true);
+        assert_eq!(m.words_per_row(), 2);
+        let words = m.row_words(1);
+        assert_eq!(words[0], 1);
+        assert_eq!(words[1], 1 << 1);
+        assert_eq!(m.row_words(0), &[0, 0]);
     }
 
     #[test]
