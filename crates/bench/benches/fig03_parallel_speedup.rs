@@ -5,17 +5,23 @@ use bench::Table;
 use cyclone::experiments::fig3_parallel_speedup;
 
 fn main() {
-    let catalog = bench::catalog();
-    let rows = fig3_parallel_speedup(&catalog);
-    let mut table = Table::new(&["code", "family", "serial depth", "parallel depth", "speedup (x)"]);
-    for r in rows {
-        table.row(vec![
-            r.code,
-            r.family,
-            r.serial_depth.to_string(),
-            r.parallel_depth.to_string(),
-            format!("{:.1}", r.speedup),
-        ]);
-    }
-    table.print("Fig. 3: fully parallel vs fully serial schedule speedup");
+    bench::runner::figure(
+        "fig03_parallel_speedup",
+        "Fig. 3: fully parallel vs fully serial schedule speedup",
+        |_ctx| {
+            let rows = fig3_parallel_speedup(&bench::catalog());
+            let mut table =
+                Table::new(&["code", "family", "serial depth", "parallel depth", "speedup (x)"]);
+            for r in rows {
+                table.row(vec![
+                    r.code,
+                    r.family,
+                    r.serial_depth.to_string(),
+                    r.parallel_depth.to_string(),
+                    format!("{:.1}", r.speedup),
+                ]);
+            }
+            table
+        },
+    );
 }

@@ -1,30 +1,36 @@
 //! Fig. 6 — the software (static vs dynamic) × hardware (grid vs circle) confusion
 //! matrix, reported as execution times of one syndrome-extraction round.
 
+use bench::runner::FigureReport;
 use bench::{ms, sensitivity_code, Table};
 use cyclone::experiments::fig6_confusion_matrix;
 use qccd::timing::OperationTimes;
 
 fn main() {
     let code = sensitivity_code();
-    let m = fig6_confusion_matrix(&code, &OperationTimes::default());
-    let mut table = Table::new(&["software \\ hardware", "grid (ms)", "circle (ms)"]);
-    table.row(vec![
-        "static (EJF DAG)".into(),
-        ms(m.grid_static),
-        ms(m.circle_static),
-    ]);
-    table.row(vec![
-        "dynamic (timeslices)".into(),
-        ms(m.grid_dynamic),
-        ms(m.circle_dynamic),
-    ]);
-    table.print(&format!(
+    let title = format!(
         "Fig. 6: software x hardware confusion matrix for {} (execution time)",
-        m.code
-    ));
-    println!(
-        "\ncoordinated circle (Cyclone) is {:.1}x faster than the baseline grid+static cell",
-        m.grid_static / m.circle_dynamic
+        code.descriptor()
     );
+    bench::runner::figure("fig06_confusion_matrix", &title, |_ctx| {
+        let m = fig6_confusion_matrix(&code, &OperationTimes::default());
+        let mut table = Table::new(&["software \\ hardware", "grid (ms)", "circle (ms)"]);
+        table.row(vec![
+            "static (EJF DAG)".into(),
+            ms(m.grid_static),
+            ms(m.circle_static),
+        ]);
+        table.row(vec![
+            "dynamic (timeslices)".into(),
+            ms(m.grid_dynamic),
+            ms(m.circle_dynamic),
+        ]);
+        FigureReport::with_notes(
+            table,
+            vec![format!(
+                "coordinated circle (Cyclone) is {:.1}x faster than the baseline grid+static cell",
+                m.grid_static / m.circle_dynamic
+            )],
+        )
+    });
 }

@@ -6,16 +6,23 @@ use cyclone::experiments::fig16_spacetime;
 use qccd::timing::OperationTimes;
 
 fn main() {
-    let codes: Vec<_> = bench::catalog().into_iter().map(|e| e.code).collect();
-    let rows = fig16_spacetime(&codes, &OperationTimes::default());
-    let mut table = Table::new(&["code", "baseline spacetime", "cyclone spacetime", "improvement"]);
-    for r in rows {
-        table.row(vec![
-            r.code,
-            format!("{:.3e}", r.baseline_spacetime),
-            format!("{:.3e}", r.cyclone_spacetime),
-            format!("{:.1}x", r.improvement),
-        ]);
-    }
-    table.print("Fig. 16: spacetime cost (traps x execution time x ancillas), baseline vs Cyclone");
+    bench::runner::figure(
+        "fig16_spacetime",
+        "Fig. 16: spacetime cost (traps x execution time x ancillas), baseline vs Cyclone",
+        |_ctx| {
+            let codes: Vec<_> = bench::catalog().into_iter().map(|e| e.code).collect();
+            let rows = fig16_spacetime(&codes, &OperationTimes::default());
+            let mut table =
+                Table::new(&["code", "baseline spacetime", "cyclone spacetime", "improvement"]);
+            for r in rows {
+                table.row(vec![
+                    r.code,
+                    format!("{:.3e}", r.baseline_spacetime),
+                    format!("{:.3e}", r.cyclone_spacetime),
+                    format!("{:.1}x", r.improvement),
+                ]);
+            }
+            table
+        },
+    );
 }

@@ -3,32 +3,34 @@
 //! baseline-to-Cyclone gap narrows (the code's error-correcting ability becomes the
 //! limit).
 
-use bench::{memory_config, ms, sci, sensitivity_code, Table};
-use cyclone::experiments::fig18_op_time_sweep;
+use bench::{ms, sci, sensitivity_code, Table};
+use cyclone::experiments::fig18_op_time_sweep_with;
 
 fn main() {
     let code = sensitivity_code();
-    let config = memory_config();
-    let reductions = [0.0, 0.25, 0.5, 0.75, 0.9];
-    let rows = fig18_op_time_sweep(&code, 1e-4, &reductions, &config);
-    let mut table = Table::new(&[
-        "reduction",
-        "baseline lat (ms)",
-        "cyclone lat (ms)",
-        "baseline LER",
-        "cyclone LER",
-    ]);
-    for r in rows {
-        table.row(vec![
-            format!("{:.0}%", r.reduction * 100.0),
-            ms(r.baseline_latency),
-            ms(r.cyclone_latency),
-            sci(r.baseline_ler.ler),
-            sci(r.cyclone_ler.ler),
-        ]);
-    }
-    table.print(&format!(
+    let title = format!(
         "Fig. 18: sensitivity to uniformly faster gates and shuttling ({})",
         code.descriptor()
-    ));
+    );
+    bench::runner::figure("fig18_op_time_sweep", &title, |ctx| {
+        let reductions = [0.0, 0.25, 0.5, 0.75, 0.9];
+        let rows = fig18_op_time_sweep_with(&code, 1e-4, &reductions, &ctx.sweep);
+        let mut table = Table::new(&[
+            "reduction",
+            "baseline lat (ms)",
+            "cyclone lat (ms)",
+            "baseline LER",
+            "cyclone LER",
+        ]);
+        for r in rows {
+            table.row(vec![
+                format!("{:.0}%", r.reduction * 100.0),
+                ms(r.baseline_latency),
+                ms(r.cyclone_latency),
+                sci(r.baseline_ler.ler),
+                sci(r.cyclone_ler.ler),
+            ]);
+        }
+        table
+    });
 }

@@ -7,31 +7,34 @@ use qccd::timing::OperationTimes;
 
 fn main() {
     let code = sensitivity_code();
-    let rows = fig20_compiler_comparison(&code, &OperationTimes::default());
-    let mut table = Table::new(&[
-        "compiler",
-        "exec (ms)",
-        "unrolled (ms)",
-        "gate (ms)",
-        "shuttle (ms)",
-        "swap (ms)",
-        "measure (ms)",
-        "parallelization",
-    ]);
-    for r in rows {
-        table.row(vec![
-            r.compiler,
-            ms(r.execution_time),
-            ms(r.serialized_total),
-            ms(r.gate),
-            ms(r.shuttle),
-            ms(r.swap),
-            ms(r.measurement),
-            format!("{:.1}x", r.parallelization),
-        ]);
-    }
-    table.print(&format!(
+    let title = format!(
         "Fig. 20: compiler comparison with component breakdown ({})",
         code.descriptor()
-    ));
+    );
+    bench::runner::figure("fig20_compilers", &title, |_ctx| {
+        let rows = fig20_compiler_comparison(&code, &OperationTimes::default());
+        let mut table = Table::new(&[
+            "compiler",
+            "exec (ms)",
+            "unrolled (ms)",
+            "gate (ms)",
+            "shuttle (ms)",
+            "swap (ms)",
+            "measure (ms)",
+            "parallelization",
+        ]);
+        for r in rows {
+            table.row(vec![
+                r.compiler,
+                ms(r.execution_time),
+                ms(r.serialized_total),
+                ms(r.gate),
+                ms(r.shuttle),
+                ms(r.swap),
+                ms(r.measurement),
+                format!("{:.1}x", r.parallelization),
+            ]);
+        }
+        table
+    });
 }

@@ -6,13 +6,16 @@ use cyclone::experiments::fig21_swap_sensitivity;
 
 fn main() {
     let code = sensitivity_code();
-    let rows = fig21_swap_sensitivity(&code);
-    let mut table = Table::new(&["codesign", "swap kind", "exec (ms)"]);
-    for r in rows {
-        table.row(vec![r.codesign, r.swap_kind, ms(r.execution_time)]);
-    }
-    table.print(&format!(
+    let title = format!(
         "Fig. 21: GateSwap vs IonSwap sensitivity ({})",
         code.descriptor()
-    ));
+    );
+    bench::runner::figure("fig21_swap_sensitivity", &title, |_ctx| {
+        let rows = fig21_swap_sensitivity(&code);
+        let mut table = Table::new(&["codesign", "swap kind", "exec (ms)"]);
+        for r in rows {
+            table.row(vec![r.codesign, r.swap_kind, ms(r.execution_time)]);
+        }
+        table
+    });
 }

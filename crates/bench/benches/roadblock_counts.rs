@@ -8,31 +8,37 @@ use cyclone::experiments::{baseline_round, cyclone_round};
 use qccd::timing::OperationTimes;
 
 fn main() {
-    let times = OperationTimes::default();
-    let mut table = Table::new(&[
-        "code",
-        "family",
-        "B roadblocks",
-        "B wait (ms)",
-        "C roadblocks",
-        "C wait (ms)",
-    ]);
-    for entry in bench::catalog() {
-        let base = baseline_round(&entry.code, &times);
-        let cyc = cyclone_round(&entry.code, &times);
-        assert_eq!(
-            cyc.roadblock_events, 0,
-            "{}: Cyclone must be roadblock-free",
-            entry.label
-        );
-        table.row(vec![
-            entry.label,
-            format!("{:?}", entry.family),
-            base.roadblock_events.to_string(),
-            ms(base.breakdown.roadblock_wait),
-            cyc.roadblock_events.to_string(),
-            ms(cyc.breakdown.roadblock_wait),
-        ]);
-    }
-    table.print("Roadblock census: baseline grid vs Cyclone");
+    bench::runner::figure(
+        "roadblock_counts",
+        "Roadblock census: baseline grid vs Cyclone",
+        |_ctx| {
+            let times = OperationTimes::default();
+            let mut table = Table::new(&[
+                "code",
+                "family",
+                "B roadblocks",
+                "B wait (ms)",
+                "C roadblocks",
+                "C wait (ms)",
+            ]);
+            for entry in bench::catalog() {
+                let base = baseline_round(&entry.code, &times);
+                let cyc = cyclone_round(&entry.code, &times);
+                assert_eq!(
+                    cyc.roadblock_events, 0,
+                    "{}: Cyclone must be roadblock-free",
+                    entry.label
+                );
+                table.row(vec![
+                    entry.label,
+                    format!("{:?}", entry.family),
+                    base.roadblock_events.to_string(),
+                    ms(base.breakdown.roadblock_wait),
+                    cyc.roadblock_events.to_string(),
+                    ms(cyc.breakdown.roadblock_wait),
+                ]);
+            }
+            table
+        },
+    );
 }

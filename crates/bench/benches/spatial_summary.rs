@@ -6,31 +6,37 @@ use bench::Table;
 use cyclone::experiments::spatial_summary;
 
 fn main() {
-    let codes: Vec<_> = bench::catalog().into_iter().map(|e| e.code).collect();
-    let rows = spatial_summary(&codes);
-    let mut table = Table::new(&[
-        "code",
-        "B traps",
-        "B junctions",
-        "B DACs",
-        "B ancillas",
-        "C traps",
-        "C junctions",
-        "C DACs",
-        "C ancillas",
-    ]);
-    for r in rows {
-        table.row(vec![
-            r.code,
-            r.baseline_traps.to_string(),
-            r.baseline_junctions.to_string(),
-            r.baseline_dacs.to_string(),
-            r.baseline_ancillas.to_string(),
-            r.cyclone_traps.to_string(),
-            r.cyclone_junctions.to_string(),
-            r.cyclone_dacs.to_string(),
-            r.cyclone_ancillas.to_string(),
-        ]);
-    }
-    table.print("Spatial summary: baseline (B) vs Cyclone (C)");
+    bench::runner::figure(
+        "spatial_summary",
+        "Spatial summary: baseline (B) vs Cyclone (C)",
+        |_ctx| {
+            let codes: Vec<_> = bench::catalog().into_iter().map(|e| e.code).collect();
+            let rows = spatial_summary(&codes);
+            let mut table = Table::new(&[
+                "code",
+                "B traps",
+                "B junctions",
+                "B DACs",
+                "B ancillas",
+                "C traps",
+                "C junctions",
+                "C DACs",
+                "C ancillas",
+            ]);
+            for r in rows {
+                table.row(vec![
+                    r.code,
+                    r.baseline_traps.to_string(),
+                    r.baseline_junctions.to_string(),
+                    r.baseline_dacs.to_string(),
+                    r.baseline_ancillas.to_string(),
+                    r.cyclone_traps.to_string(),
+                    r.cyclone_junctions.to_string(),
+                    r.cyclone_dacs.to_string(),
+                    r.cyclone_ancillas.to_string(),
+                ]);
+            }
+            table
+        },
+    );
 }

@@ -1,0 +1,94 @@
+//! Sweep-engine throughput: wall-clock of a multi-point figure sweep executed
+//! serially (one worker) vs across the point-level pool (`CYCLONE_THREADS`, default
+//! 4 here), plus points/sec. Each run overwrites `BENCH_sweep.json` at the repository
+//! root, so the file always holds the current commit's numbers.
+//!
+//! The measured workload is the Fig. 5 latency×LER sweep shape (two HGP codes × six
+//! latency-division factors = 12 Monte-Carlo points). Points are embarrassingly
+//! parallel, so the speedup tracks the host's usable cores; the JSON records
+//! `host_cores` so a 1-core CI shard reporting ~1.0x is interpretable. Both runs must
+//! produce bit-identical estimates — this binary asserts it, making it a determinism
+//! check as well as a benchmark.
+//!
+//! `CYCLONE_SHOTS` scales the per-point work (CI uses 50).
+
+use cyclone::experiments::fig5_spec;
+use cyclone::sweep::{run_sweep, SweepOptions, SweepResult};
+use decoder::memory::MemoryConfig;
+use std::time::Instant;
+
+/// Latency division factors: six per code, so the pool has enough points to fill
+/// four workers.
+const SPEEDUPS: [f64; 6] = [1.0, 1.5, 2.0, 3.0, 4.0, 8.0];
+
+fn timed_run(spec: &cyclone::sweep::ScenarioSpec, threads: usize, shots: usize) -> (SweepResult, f64) {
+    let config = MemoryConfig {
+        shots,
+        bp_iterations: 30,
+        threads,
+        seed: 0xC1C1_0DE5,
+    };
+    let start = Instant::now();
+    let result = run_sweep(spec, &SweepOptions::ephemeral(config));
+    (result, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    // Scale up the per-point work so the measurement dominates thread startup and
+    // timer noise (1000 shots/point in CI quick mode, 8000 by default).
+    let shots = 20 * bench::shots();
+    let threaded_workers = match bench::threads() {
+        0 | 1 => 4,
+        n => n,
+    };
+    let codes = vec![
+        qec::codes::hgp_100().expect("construction"),
+        qec::codes::hgp_225_9_6().expect("construction"),
+    ];
+    let spec = fig5_spec(&codes, 5e-4, &SPEEDUPS);
+    let points = spec.points.len();
+
+    // Warm-up pass (decoder construction paths, page cache) — not timed.
+    let _ = timed_run(&spec, 1, shots.min(20));
+
+    let (serial, serial_seconds) = timed_run(&spec, 1, shots);
+    let (threaded, threaded_seconds) = timed_run(&spec, threaded_workers, shots);
+
+    // The engine must be bit-identical at any pool size.
+    for (a, b) in serial.points.iter().zip(&threaded.points) {
+        assert_eq!(a.ler.failures, b.ler.failures, "point {} diverged across pool sizes", a.id);
+        assert_eq!(a.ler.ler, b.ler.ler);
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = serial_seconds / threaded_seconds;
+    let serial_pps = points as f64 / serial_seconds;
+    let threaded_pps = points as f64 / threaded_seconds;
+
+    println!("sweep engine, fig5-shaped sweep: {points} points x {shots} shots");
+    println!("  host cores                {host_cores}");
+    println!("  serial (1 worker)         {serial_seconds:>8.3} s  ({serial_pps:.2} points/sec)");
+    println!(
+        "  threaded ({threaded_workers} workers)     {threaded_seconds:>8.3} s  ({threaded_pps:.2} points/sec)"
+    );
+    println!("  wall-clock speedup        {speedup:.2}x");
+    if host_cores == 1 {
+        println!("  (single-core host: point-level parallelism cannot show a wall-clock win here)");
+    }
+
+    let json = format!(
+        "{{\n  \"sweep\": \"fig5_latency_vs_ler\",\n  \"points\": {points},\n  \
+         \"shots_per_point\": {shots},\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"serial_seconds\": {serial_seconds:.4},\n  \
+         \"threaded_workers\": {threaded_workers},\n  \
+         \"threaded_seconds\": {threaded_seconds:.4},\n  \
+         \"serial_points_per_sec\": {serial_pps:.3},\n  \
+         \"threaded_points_per_sec\": {threaded_pps:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"bit_identical_across_pool_sizes\": true\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    println!("  wrote {path}");
+}

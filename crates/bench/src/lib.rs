@@ -1,36 +1,49 @@
 //! Shared infrastructure for the benchmark harness that regenerates every table and
 //! figure of the paper.
 //!
-//! Each figure has its own `harness = false` bench target under `benches/`; they all
-//! use the helpers here for code selection, Monte-Carlo configuration, and aligned
-//! table / CSV output.
+//! Each figure has its own `harness = false` bench target under `benches/`; all of
+//! them are thin frontends over [`runner`], which handles argument parsing,
+//! Monte-Carlo configuration, sweep-cache control, and aligned-table / CSV / JSON
+//! output. The helpers here cover code selection and environment parsing.
 //!
-//! Environment variables:
+//! Environment variables (each has a `--flag` equivalent, see [`runner`]):
 //!
 //! * `CYCLONE_SHOTS` — Monte-Carlo shots per LER point (default 400; the paper samples
 //!   until `> 10 / LER` shots, which is far more than a CI run should attempt).
-//! * `CYCLONE_THREADS` — Monte-Carlo worker-thread count (default 0 = available
-//!   parallelism). The LER estimate is bit-identical at every setting; pin it in CI
-//!   or on shared machines to bound CPU use.
+//! * `CYCLONE_THREADS` — worker-thread count for the point-level sweep pool (default
+//!   0 = available parallelism). Results are bit-identical at every setting; pin it
+//!   in CI or on shared machines to bound CPU use.
 //! * `CYCLONE_FULL` — set to `1` to run the full code catalog (including
 //!   `[[625,25,8]]` and `[[144,12,12]]`) instead of the quick subset.
 //! * `CYCLONE_CSV` — set to `1` to print comma-separated values instead of aligned
 //!   text.
+//! * `CYCLONE_NO_CACHE` — set to `1` to bypass the `sweeps/<figure>.json` cache.
+//! * `CYCLONE_SWEEP_DIR` — cache directory (default `sweeps/` at the repo root).
+
+pub mod runner;
 
 use decoder::memory::MemoryConfig;
 use qec::codes::{self, CatalogEntry};
 use qec::CssCode;
+use std::str::FromStr;
 
 /// Default Monte-Carlo shots per logical-error-rate point when `CYCLONE_SHOTS` is
 /// unset or malformed.
 pub const DEFAULT_SHOTS: usize = 400;
 
+/// Parses an environment value: unset, empty, or malformed input falls back to
+/// `default`. All `CYCLONE_*` knobs go through this single parser, so they share the
+/// whitespace-trimming and malformed-value semantics.
+pub fn env_parse<T: FromStr>(raw: Option<&str>, default: T) -> T {
+    raw.and_then(|s| s.trim().parse::<T>().ok()).unwrap_or(default)
+}
+
 /// Parses a `CYCLONE_SHOTS` value: unset, empty, non-numeric, or zero falls back to
-/// [`DEFAULT_SHOTS`].
+/// [`DEFAULT_SHOTS`] (zero shots would panic the LER estimator).
 pub fn shots_from(raw: Option<&str>) -> usize {
-    match raw.and_then(|s| s.trim().parse::<usize>().ok()) {
-        Some(n) if n > 0 => n,
-        _ => DEFAULT_SHOTS,
+    match env_parse(raw, DEFAULT_SHOTS) {
+        0 => DEFAULT_SHOTS,
+        n => n,
     }
 }
 
@@ -41,14 +54,13 @@ pub const AUTO_THREADS: usize = 0;
 /// Parses a `CYCLONE_THREADS` value: unset, empty, or non-numeric falls back to
 /// [`AUTO_THREADS`] (auto-detect); `"0"` is a valid explicit auto-detect request.
 pub fn threads_from(raw: Option<&str>) -> usize {
-    raw.and_then(|s| s.trim().parse::<usize>().ok())
-        .unwrap_or(AUTO_THREADS)
+    env_parse(raw, AUTO_THREADS)
 }
 
-/// Parses a boolean `CYCLONE_*` flag: only `"1"` (modulo surrounding
+/// Parses a boolean `CYCLONE_*` flag: only the numeral `1` (modulo surrounding
 /// whitespace) enables it.
 pub fn flag_from(raw: Option<&str>) -> bool {
-    raw.map(str::trim) == Some("1")
+    env_parse(raw, 0u8) == 1
 }
 
 /// Number of Monte-Carlo shots per logical-error-rate point, honoring `CYCLONE_SHOTS`.
@@ -194,6 +206,16 @@ impl Table {
         self
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The appended rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the table, honoring `CYCLONE_CSV`.
     pub fn render(&self) -> String {
         if csv_output() {
@@ -272,6 +294,17 @@ mod tests {
     fn defaults_are_reasonable() {
         assert!(shots() > 0);
         assert_eq!(error_rate_grid().len(), 5);
+    }
+
+    #[test]
+    fn env_parse_is_generic_over_fromstr() {
+        // usize / u8 / f64 all share the trim + malformed-fallback semantics.
+        assert_eq!(env_parse::<usize>(Some(" 42 "), 7), 42);
+        assert_eq!(env_parse::<usize>(Some("nope"), 7), 7);
+        assert_eq!(env_parse::<usize>(None, 7), 7);
+        assert_eq!(env_parse::<u8>(Some("1"), 0), 1);
+        assert_eq!(env_parse::<f64>(Some("2.5"), 0.0), 2.5);
+        assert_eq!(env_parse::<f64>(Some(""), 1.25), 1.25);
     }
 
     #[test]

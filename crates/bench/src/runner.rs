@@ -1,0 +1,250 @@
+//! The shared figure runner every bench binary fronts.
+//!
+//! A figure binary is three lines: pick codes, call its `cyclone::experiments`
+//! declaration, format rows into a [`Table`](crate::Table). Everything else —
+//! command-line parsing, Monte-Carlo configuration, sweep-cache control, and
+//! table/CSV/JSON emission — lives here, so the 17 binaries share one frontend
+//! instead of 17 copies of the loop.
+//!
+//! # Command line
+//!
+//! Flags can be passed after `--` with `cargo bench -p bench --bench figNN -- ...`:
+//!
+//! * `--shots N` — Monte-Carlo shots per LER point (`CYCLONE_SHOTS`).
+//! * `--threads N` — point-level sweep pool size, 0 = auto (`CYCLONE_THREADS`).
+//! * `--full` — run the full code catalog (`CYCLONE_FULL=1`).
+//! * `--quick` — shorthand for `--shots 50`.
+//! * `--csv` — CSV output instead of an aligned table (`CYCLONE_CSV=1`).
+//! * `--no-cache` — bypass the sweep cache (`CYCLONE_NO_CACHE=1`).
+//! * `--cache-dir DIR` — cache directory (`CYCLONE_SWEEP_DIR`, default `sweeps/`
+//!   at the repository root).
+//!
+//! Unknown flags (e.g. the `--bench` cargo appends) are ignored. Flags override the
+//! corresponding environment variables for the run.
+
+use crate::Table;
+use cyclone::sweep::SweepOptions;
+use decoder::memory::MemoryConfig;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Everything a figure closure needs: the Monte-Carlo configuration and the sweep
+/// options (pool size + cache location) resolved from flags and environment.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// Monte-Carlo configuration for LER points.
+    pub config: MemoryConfig,
+    /// Sweep execution options (pass to the `*_with` experiment runners).
+    pub sweep: SweepOptions,
+    /// CSV output requested (`--csv` / `CYCLONE_CSV`).
+    pub csv: bool,
+    /// Full code catalog requested (`--full` / `CYCLONE_FULL`).
+    pub full: bool,
+}
+
+impl RunContext {
+    /// Resolves the context from the process arguments and environment.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_args(&args)
+    }
+
+    /// Resolves the context from explicit arguments (tests use this directly).
+    pub fn from_args(args: &[String]) -> Self {
+        let mut shots = crate::shots();
+        let mut threads = crate::threads();
+        let mut no_cache = crate::flag_from(std::env::var("CYCLONE_NO_CACHE").ok().as_deref());
+        let mut cache_dir = std::env::var("CYCLONE_SWEEP_DIR")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+            .map(PathBuf::from)
+            .unwrap_or_else(default_sweep_dir);
+        let mut csv = crate::csv_output();
+        let mut full = crate::full_run();
+
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--shots" => {
+                    if let Some(value) = args.get(i + 1) {
+                        shots = crate::shots_from(Some(value));
+                        i += 1;
+                    }
+                }
+                "--threads" => {
+                    if let Some(value) = args.get(i + 1) {
+                        threads = crate::threads_from(Some(value));
+                        i += 1;
+                    }
+                }
+                "--quick" => shots = 50,
+                "--full" => full = true,
+                "--csv" => csv = true,
+                "--no-cache" => no_cache = true,
+                "--cache-dir" => {
+                    if let Some(value) = args.get(i + 1) {
+                        cache_dir = PathBuf::from(value);
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+
+        let config = MemoryConfig {
+            shots,
+            bp_iterations: 30,
+            threads,
+            seed: 0xC1C1_0DE5,
+        };
+        let sweep = if no_cache {
+            SweepOptions::ephemeral(config)
+        } else {
+            SweepOptions::cached(config, cache_dir)
+        };
+        RunContext { config, sweep, csv, full }
+    }
+
+    /// The cache directory, when caching is enabled.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.sweep.cache_dir.as_deref()
+    }
+
+    /// Re-exports the resolved values into the environment so the env-reading
+    /// helpers (code catalog selection, CSV rendering) agree with the flags.
+    ///
+    /// Only [`figure`] calls this, from a bench binary's single-threaded `main` —
+    /// it must NOT be called from library code or tests, where mutating the
+    /// process environment races with the parallel test harness.
+    fn export_env(&self) {
+        std::env::set_var("CYCLONE_SHOTS", self.config.shots.to_string());
+        std::env::set_var("CYCLONE_THREADS", self.config.threads.to_string());
+        std::env::set_var("CYCLONE_CSV", if self.csv { "1" } else { "0" });
+        std::env::set_var("CYCLONE_FULL", if self.full { "1" } else { "0" });
+    }
+}
+
+/// The default cache directory: `sweeps/` at the repository root.
+pub fn default_sweep_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../sweeps"))
+}
+
+/// A figure's printable result: the table plus optional trailing note lines
+/// (crossover points, best configurations, headline ratios).
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// The figure's table.
+    pub table: Table,
+    /// Free-form lines printed after the table, each preceded by a blank line.
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// A report with trailing notes.
+    pub fn with_notes(table: Table, notes: Vec<String>) -> Self {
+        FigureReport { table, notes }
+    }
+}
+
+impl From<Table> for FigureReport {
+    fn from(table: Table) -> Self {
+        FigureReport {
+            table,
+            notes: Vec::new(),
+        }
+    }
+}
+
+/// Runs one figure: resolves the context, builds the report, prints it, and (when
+/// caching is enabled) records the rendered rows as `sweeps/<name>.table.json` so
+/// every figure leaves a machine-readable artifact next to the sweep cache.
+pub fn figure<R: Into<FigureReport>>(
+    name: &str,
+    title: &str,
+    build: impl FnOnce(&RunContext) -> R,
+) {
+    let context = RunContext::from_env();
+    context.export_env();
+    let report: FigureReport = build(&context).into();
+    report.table.print(title);
+    for note in &report.notes {
+        println!("\n{note}");
+    }
+    if let Some(dir) = context.cache_dir() {
+        if let Err(err) = write_table_json(dir, name, title, &report.table) {
+            eprintln!("warning: could not write {name}.table.json: {err}");
+        }
+    }
+}
+
+/// Serializes a rendered table as `<dir>/<name>.table.json`.
+fn write_table_json(
+    dir: &std::path::Path,
+    name: &str,
+    title: &str,
+    table: &Table,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut root = BTreeMap::new();
+    root.insert("figure".to_string(), Value::from(name));
+    root.insert("title".to_string(), Value::from(title));
+    root.insert(
+        "headers".to_string(),
+        Value::Array(table.headers().iter().map(|h| Value::from(h.as_str())).collect()),
+    );
+    root.insert(
+        "rows".to_string(),
+        Value::Array(
+            table
+                .rows()
+                .iter()
+                .map(|row| Value::Array(row.iter().map(|c| Value::from(c.as_str())).collect()))
+                .collect(),
+        ),
+    );
+    let mut text = serde_json::to_string(&Value::Object(root));
+    text.push('\n');
+    std::fs::write(dir.join(format!("{name}.table.json")), text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let ctx = RunContext::from_args(&args(&[
+            "--shots", "77", "--threads", "3", "--no-cache", "--ignored-flag",
+        ]));
+        assert_eq!(ctx.config.shots, 77);
+        assert_eq!(ctx.config.threads, 3);
+        assert!(ctx.cache_dir().is_none());
+        assert_eq!(ctx.config.seed, 0xC1C1_0DE5);
+    }
+
+    #[test]
+    fn quick_flag_sets_ci_shot_count() {
+        let ctx = RunContext::from_args(&args(&["--quick"]));
+        assert_eq!(ctx.config.shots, 50);
+    }
+
+    #[test]
+    fn cache_dir_flag_redirects_the_cache() {
+        let ctx = RunContext::from_args(&args(&["--cache-dir", "/tmp/sweep-test"]));
+        assert_eq!(ctx.cache_dir(), Some(std::path::Path::new("/tmp/sweep-test")));
+    }
+
+    #[test]
+    fn malformed_flag_values_fall_back() {
+        let ctx = RunContext::from_args(&args(&["--shots", "abc"]));
+        assert_eq!(ctx.config.shots, crate::DEFAULT_SHOTS);
+        let ctx = RunContext::from_args(&args(&["--threads", "x"]));
+        assert_eq!(ctx.config.threads, crate::AUTO_THREADS);
+    }
+}

@@ -1,21 +1,27 @@
 //! Experiment runners that regenerate every figure of the paper's evaluation.
 //!
-//! Each function returns plain data rows; the `bench` crate's binaries print them as
-//! the tables/series of the corresponding figure, and `EXPERIMENTS.md` records the
-//! paper-vs-measured comparison. All Monte-Carlo experiments take an explicit
-//! [`MemoryConfig`] so shot counts can be scaled from quick smoke runs to
-//! publication-quality sampling.
+//! Every Monte-Carlo figure is a thin declaration: it assembles a
+//! [`ScenarioSpec`](crate::sweep::ScenarioSpec) (codesigns from the
+//! [`registry`](crate::registry) × codes × operating points) and hands it to the
+//! [`sweep`](crate::sweep) engine, which parallelizes the points, caches results in
+//! `sweeps/<figure>.json`, and keeps everything bit-identical at any thread count.
+//! Compile-only figures (no sampling) look their codesigns up in the
+//! [`standard_registry`] directly.
+//!
+//! Each `figNN_*` function returns plain data rows; the `bench` crate's binaries
+//! print them as the tables/series of the corresponding figure, and `EXPERIMENTS.md`
+//! records the paper-vs-measured comparison. Monte-Carlo figures take an explicit
+//! [`MemoryConfig`] (or [`SweepOptions`] through the `*_with` variants, which add
+//! cache control) so shot counts scale from quick smoke runs to publication-quality
+//! sampling.
 
-use crate::codesign::{CycloneCodesign, CycloneConfig};
-use decoder::memory::{logical_error_rate, LerEstimate, MemoryConfig, MemoryExperiment};
-use noise::{HardwareNoiseModel, NoiseParameters};
-use qccd::compiler::baseline::{compile_baseline, compile_baseline_with_placement};
-use qccd::compiler::dynamic::compile_dynamic;
-use qccd::compiler::variants::{compile_baseline2, compile_baseline3};
-use qccd::compiler::CompiledRound;
-use qccd::placement::greedy_cluster_placement;
+use crate::registry::{standard_registry, Cyclone};
+use crate::sweep::{run_sweep, ScenarioSpec, SweepOptions, SweepResult};
+use decoder::memory::{logical_error_rate, LerEstimate, MemoryConfig};
+use qccd::compiler::codesign::BASELINE_CAPACITY as QCCD_BASELINE_CAPACITY;
+use qccd::compiler::{Codesign, CompiledRound};
 use qccd::timing::{OperationTimes, SwapKind};
-use qccd::topology::{alternate_grid, baseline_grid, mesh_junction_network, ring};
+use qccd::topology::baseline_grid;
 use qccd::wiring::wiring_cost;
 use qec::codes::CatalogEntry;
 use qec::schedule::{max_parallel_schedule, parallel_speedup, serial_schedule};
@@ -23,18 +29,21 @@ use qec::CssCode;
 use serde::{Deserialize, Serialize};
 
 /// Default per-trap capacity of the baseline grid (the paper's value).
-pub const BASELINE_CAPACITY: usize = 5;
+pub const BASELINE_CAPACITY: usize = QCCD_BASELINE_CAPACITY;
 
 /// Compiles the baseline codesign (grid + greedy cluster mapping + static EJF) for a
 /// code with the given operation times.
+///
+/// Thin wrapper over the `"baseline"` registry codesign, kept for examples and tests.
 pub fn baseline_round(code: &CssCode, times: &OperationTimes) -> CompiledRound {
-    let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
-    compile_baseline(code, &topo, times, &serial_schedule(code))
+    qccd::compiler::codesign::BaselineGrid::new().compile(code, times)
 }
 
 /// Compiles the base Cyclone codesign for a code with the given operation times.
+///
+/// Thin wrapper over the `"cyclone"` registry codesign, kept for examples and tests.
 pub fn cyclone_round(code: &CssCode, times: &OperationTimes) -> CompiledRound {
-    CycloneCodesign::new(code, CycloneConfig::base()).compile(times)
+    Cyclone::base().compile(code, times)
 }
 
 /// Estimates the logical error rate of a code whose syndrome-extraction round takes
@@ -48,28 +57,18 @@ pub fn ler_for_round(
     logical_error_rate(code, p, round.execution_time, config)
 }
 
-/// Points an existing experiment at a new `(p, latency)` operating point and runs it.
-///
-/// The sweeps below build one [`MemoryExperiment`] per code and move it between
-/// points with [`MemoryExperiment::set_model`], so the BP+OSD decoders (Tanner-graph
-/// flattening included) are constructed once per code instead of once per point.
-fn ler_at(
-    exp: &mut MemoryExperiment<'_>,
-    p: f64,
-    latency: f64,
-    config: &MemoryConfig,
-) -> LerEstimate {
-    exp.set_model(HardwareNoiseModel::new(NoiseParameters::new(p), latency));
-    exp.run(config)
-}
-
-/// Builds a reusable experiment for sweeping one code across operating points.
-fn sweep_experiment<'a>(code: &'a CssCode, p: f64, config: &MemoryConfig) -> MemoryExperiment<'a> {
-    MemoryExperiment::new(
-        code,
-        HardwareNoiseModel::new(NoiseParameters::new(p), 0.0),
-        config.bp_iterations,
-    )
+/// Looks up a codesign in the standard registry, panicking with a clear message when
+/// the label is missing (labels used here are all registered).
+fn registered(label: &str) -> impl Fn(&CssCode, &OperationTimes) -> CompiledRound {
+    let registry = standard_registry();
+    assert!(registry.get(label).is_some(), "codesign `{label}` not registered");
+    let label = label.to_string();
+    move |code, times| {
+        registry
+            .get(&label)
+            .expect("checked at construction")
+            .compile(code, times)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -126,6 +125,27 @@ pub struct LatencyLerRow {
     pub ler: LerEstimate,
 }
 
+/// Declares the Fig. 5 scenario: each code's compiled baseline latency divided by the
+/// given factors, at fixed physical error rate `p`.
+pub fn fig5_spec(codes: &[CssCode], p: f64, speedups: &[f64]) -> ScenarioSpec {
+    let compile = registered("baseline");
+    let times = OperationTimes::default();
+    let mut spec = ScenarioSpec::new("fig05_latency_vs_ler");
+    for code in codes {
+        let base = compile(code, &times);
+        let idx = spec.code(code.clone());
+        for &s in speedups {
+            spec.point(
+                format!("baseline/{}/s={s}", code.descriptor()),
+                idx,
+                p,
+                base.execution_time / s,
+            );
+        }
+    }
+    spec
+}
+
 /// Fig. 5: LER of each code as the compiled baseline latency is divided by the given
 /// factors, at fixed physical error rate `p`.
 pub fn fig5_latency_vs_ler(
@@ -134,18 +154,28 @@ pub fn fig5_latency_vs_ler(
     speedups: &[f64],
     config: &MemoryConfig,
 ) -> Vec<LatencyLerRow> {
-    let times = OperationTimes::default();
+    fig5_latency_vs_ler_with(codes, p, speedups, &SweepOptions::ephemeral(*config))
+}
+
+/// [`fig5_latency_vs_ler`] with full sweep control (thread pool + cache).
+pub fn fig5_latency_vs_ler_with(
+    codes: &[CssCode],
+    p: f64,
+    speedups: &[f64],
+    options: &SweepOptions,
+) -> Vec<LatencyLerRow> {
+    let spec = fig5_spec(codes, p, speedups);
+    let result = run_sweep(&spec, options);
     let mut rows = Vec::new();
+    let mut outcomes = result.points.iter();
     for code in codes {
-        let base = baseline_round(code, &times);
-        let mut exp = sweep_experiment(code, p, config);
         for &s in speedups {
-            let latency = base.execution_time / s;
+            let outcome = outcomes.next().expect("one outcome per point");
             rows.push(LatencyLerRow {
                 code: code.descriptor(),
                 speedup: s,
-                latency,
-                ler: ler_at(&mut exp, p, latency, config),
+                latency: outcome.latency,
+                ler: outcome.ler,
             });
         }
     }
@@ -171,24 +201,23 @@ pub struct ConfusionMatrix {
     pub circle_dynamic: f64,
 }
 
-/// Fig. 6: execution time of every software/hardware combination.
+/// Fig. 6: execution time of every software/hardware combination, all four cells
+/// pulled from the codesign registry.
 pub fn fig6_confusion_matrix(code: &CssCode, times: &OperationTimes) -> ConfusionMatrix {
-    let grid = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
-    let grid_static = compile_baseline(code, &grid, times, &serial_schedule(code)).execution_time;
-    let grid_dynamic =
-        compile_dynamic(code, &grid, times, &max_parallel_schedule(code)).execution_time;
-    let a = code.num_x_stabilizers().max(code.num_z_stabilizers());
-    let capacity = code.num_qubits().div_ceil(a) + 2;
-    let circle = ring(a, capacity);
-    let circle_static =
-        compile_baseline(code, &circle, times, &serial_schedule(code)).execution_time;
-    let circle_dynamic = cyclone_round(code, times).execution_time;
+    let registry = standard_registry();
+    let cell = |label: &str| {
+        registry
+            .get(label)
+            .unwrap_or_else(|| panic!("codesign `{label}` not registered"))
+            .compile(code, times)
+            .execution_time
+    };
     ConfusionMatrix {
         code: code.descriptor(),
-        grid_static,
-        grid_dynamic,
-        circle_static,
-        circle_dynamic,
+        grid_static: cell("baseline"),
+        grid_dynamic: cell("dynamic-grid"),
+        circle_static: cell("ring-static"),
+        circle_dynamic: cell("cyclone"),
     }
 }
 
@@ -209,6 +238,26 @@ pub struct JunctionSensitivityRow {
     pub baseline_ler: LerEstimate,
 }
 
+/// Declares the Fig. 9 scenario: the baseline reference point plus one mesh point per
+/// junction-time reduction. Returns the spec and the mesh execution times (row
+/// metadata the sweep result alone does not carry).
+pub fn fig9_spec(code: &CssCode, p: f64, reductions: &[f64]) -> (ScenarioSpec, Vec<f64>) {
+    let nominal = OperationTimes::default();
+    let baseline = registered("baseline");
+    let mesh = registered("dynamic-mesh");
+    let mut spec = ScenarioSpec::new("fig09_junction_sensitivity");
+    let idx = spec.code(code.clone());
+    spec.point("baseline", idx, p, baseline(code, &nominal).execution_time);
+    let mut mesh_times = Vec::new();
+    for &r in reductions {
+        let times = nominal.with_junction_reduction(r);
+        let round = mesh(code, &times);
+        mesh_times.push(round.execution_time);
+        spec.point(format!("mesh/r={r}"), idx, p, round.execution_time);
+    }
+    (spec, mesh_times)
+}
+
 /// Fig. 9: LER of the mesh junction network as junction crossing times are reduced,
 /// against the baseline grid reference.
 pub fn fig9_junction_sensitivity(
@@ -217,22 +266,28 @@ pub fn fig9_junction_sensitivity(
     reductions: &[f64],
     config: &MemoryConfig,
 ) -> Vec<JunctionSensitivityRow> {
-    let nominal = OperationTimes::default();
-    let base = baseline_round(code, &nominal);
-    let mut exp = sweep_experiment(code, p, config);
-    let baseline_ler = ler_at(&mut exp, p, base.execution_time, config);
-    let mesh = mesh_junction_network(code.num_qubits(), BASELINE_CAPACITY);
+    fig9_junction_sensitivity_with(code, p, reductions, &SweepOptions::ephemeral(*config))
+}
+
+/// [`fig9_junction_sensitivity`] with full sweep control (thread pool + cache).
+pub fn fig9_junction_sensitivity_with(
+    code: &CssCode,
+    p: f64,
+    reductions: &[f64],
+    options: &SweepOptions,
+) -> Vec<JunctionSensitivityRow> {
+    let (spec, mesh_times) = fig9_spec(code, p, reductions);
+    let result = run_sweep(&spec, options);
+    let baseline_ler = result.points[0].ler;
     reductions
         .iter()
-        .map(|&r| {
-            let times = nominal.with_junction_reduction(r);
-            let round = compile_dynamic(code, &mesh, &times, &max_parallel_schedule(code));
-            JunctionSensitivityRow {
-                reduction: r,
-                mesh_execution_time: round.execution_time,
-                mesh_ler: ler_at(&mut exp, p, round.execution_time, config),
-                baseline_ler,
-            }
+        .zip(mesh_times)
+        .zip(&result.points[1..])
+        .map(|((&r, mesh_execution_time), outcome)| JunctionSensitivityRow {
+            reduction: r,
+            mesh_execution_time,
+            mesh_ler: outcome.ler,
+            baseline_ler,
         })
         .collect()
 }
@@ -254,6 +309,27 @@ pub struct TrapSensitivityRow {
     pub ler: LerEstimate,
 }
 
+/// Declares the Fig. 13 scenario: one point per condensed Cyclone trap count. Returns
+/// the spec and the `(num_traps, trap_capacity, execution_time)` row metadata.
+pub fn fig13_spec(
+    code: &CssCode,
+    p: f64,
+    trap_counts: &[usize],
+) -> (ScenarioSpec, Vec<(usize, usize, f64)>) {
+    let times = OperationTimes::default();
+    let mut spec = ScenarioSpec::new("fig13_trap_capacity_sweep");
+    let idx = spec.code(code.clone());
+    let mut meta = Vec::new();
+    for &x in trap_counts {
+        let wrapper = Cyclone::condensed(x);
+        let design = wrapper.instantiate(code);
+        let round = design.compile(&times);
+        meta.push((design.num_traps(), design.trap_capacity(), round.execution_time));
+        spec.point(format!("{}/x={x}", wrapper.name()), idx, p, round.execution_time);
+    }
+    (spec, meta)
+}
+
 /// Fig. 13: Cyclone execution time and LER across "tight" trap/capacity arrangements
 /// at fixed `p` (the paper uses `p = 10⁻⁴` on the `[[225,9,6]]` code).
 pub fn fig13_trap_capacity_sweep(
@@ -262,19 +338,25 @@ pub fn fig13_trap_capacity_sweep(
     trap_counts: &[usize],
     config: &MemoryConfig,
 ) -> Vec<TrapSensitivityRow> {
-    let times = OperationTimes::default();
-    let mut exp = sweep_experiment(code, p, config);
-    trap_counts
-        .iter()
-        .map(|&x| {
-            let design = CycloneCodesign::new(code, CycloneConfig::with_traps(x));
-            let round = design.compile(&times);
-            TrapSensitivityRow {
-                num_traps: design.num_traps(),
-                trap_capacity: design.trap_capacity(),
-                execution_time: round.execution_time,
-                ler: ler_at(&mut exp, p, round.execution_time, config),
-            }
+    fig13_trap_capacity_sweep_with(code, p, trap_counts, &SweepOptions::ephemeral(*config))
+}
+
+/// [`fig13_trap_capacity_sweep`] with full sweep control (thread pool + cache).
+pub fn fig13_trap_capacity_sweep_with(
+    code: &CssCode,
+    p: f64,
+    trap_counts: &[usize],
+    options: &SweepOptions,
+) -> Vec<TrapSensitivityRow> {
+    let (spec, meta) = fig13_spec(code, p, trap_counts);
+    let result = run_sweep(&spec, options);
+    meta.into_iter()
+        .zip(&result.points)
+        .map(|((num_traps, trap_capacity, execution_time), outcome)| TrapSensitivityRow {
+            num_traps,
+            trap_capacity,
+            execution_time,
+            ler: outcome.ler,
         })
         .collect()
 }
@@ -300,6 +382,42 @@ pub struct LerComparisonRow {
     pub cyclone_ler: LerEstimate,
 }
 
+/// Declares the Fig. 14/15 scenario (`figure` names the cache file: the BB and HGP
+/// variants of the same comparison sweep must not share one). Returns the spec and
+/// the per-code `(baseline_latency, cyclone_latency)` pairs.
+pub fn ler_comparison_spec(
+    figure: &str,
+    codes: &[CssCode],
+    ps: &[f64],
+) -> (ScenarioSpec, Vec<(f64, f64)>) {
+    let times = OperationTimes::default();
+    let baseline = registered("baseline");
+    let cyclone = registered("cyclone");
+    let mut spec = ScenarioSpec::new(figure);
+    let mut latencies = Vec::new();
+    for code in codes {
+        let base = baseline(code, &times);
+        let cyc = cyclone(code, &times);
+        latencies.push((base.execution_time, cyc.execution_time));
+        let idx = spec.code(code.clone());
+        for &p in ps {
+            spec.point(
+                format!("baseline/{}/p={p}", code.descriptor()),
+                idx,
+                p,
+                base.execution_time,
+            );
+            spec.point(
+                format!("cyclone/{}/p={p}", code.descriptor()),
+                idx,
+                p,
+                cyc.execution_time,
+            );
+        }
+    }
+    (spec, latencies)
+}
+
 /// Figs. 14 (BB codes) and 15 (HGP codes): logical error rate of Cyclone vs the
 /// baseline across a sweep of physical error rates.
 pub fn ler_comparison(
@@ -307,20 +425,32 @@ pub fn ler_comparison(
     ps: &[f64],
     config: &MemoryConfig,
 ) -> Vec<LerComparisonRow> {
-    let times = OperationTimes::default();
+    ler_comparison_with("ler_comparison", codes, ps, &SweepOptions::ephemeral(*config))
+}
+
+/// [`ler_comparison`] with full sweep control; `figure` names the cache file
+/// (`fig14_bb_ler` / `fig15_hgp_ler` from the bench frontends).
+pub fn ler_comparison_with(
+    figure: &str,
+    codes: &[CssCode],
+    ps: &[f64],
+    options: &SweepOptions,
+) -> Vec<LerComparisonRow> {
+    let (spec, latencies) = ler_comparison_spec(figure, codes, ps);
+    let result = run_sweep(&spec, options);
     let mut rows = Vec::new();
-    for code in codes {
-        let base = baseline_round(code, &times);
-        let cyc = cyclone_round(code, &times);
-        let mut exp = sweep_experiment(code, ps.first().copied().unwrap_or(1e-3), config);
+    let mut outcomes = result.points.iter();
+    for (code, (baseline_latency, cyclone_latency)) in codes.iter().zip(latencies) {
         for &p in ps {
+            let base = outcomes.next().expect("baseline outcome");
+            let cyc = outcomes.next().expect("cyclone outcome");
             rows.push(LerComparisonRow {
                 code: code.descriptor(),
                 p,
-                baseline_latency: base.execution_time,
-                cyclone_latency: cyc.execution_time,
-                baseline_ler: ler_at(&mut exp, p, base.execution_time, config),
-                cyclone_ler: ler_at(&mut exp, p, cyc.execution_time, config),
+                baseline_latency,
+                cyclone_latency,
+                baseline_ler: base.ler,
+                cyclone_ler: cyc.ler,
             });
         }
     }
@@ -346,13 +476,13 @@ pub struct SpacetimeRow {
 
 /// Fig. 16: relative spacetime cost of the baseline vs base Cyclone.
 pub fn fig16_spacetime(codes: &[CssCode], times: &OperationTimes) -> Vec<SpacetimeRow> {
+    let baseline = registered("baseline");
+    let cyclone = registered("cyclone");
     codes
         .iter()
         .map(|code| {
-            let base = baseline_round(code, times);
-            let cyc = cyclone_round(code, times);
-            let b = base.spacetime_cost();
-            let c = cyc.spacetime_cost();
+            let b = baseline(code, times).spacetime_cost();
+            let c = cyclone(code, times).spacetime_cost();
             SpacetimeRow {
                 code: code.descriptor(),
                 baseline_spacetime: b,
@@ -378,6 +508,22 @@ pub struct LooseCapacityRow {
     pub ler: LerEstimate,
 }
 
+/// Declares the Fig. 17 scenario: the baseline grid with excess per-trap capacity.
+/// Returns the spec and the per-capacity execution times.
+pub fn fig17_spec(code: &CssCode, p: f64, capacities: &[usize]) -> (ScenarioSpec, Vec<f64>) {
+    let times = OperationTimes::default();
+    let mut spec = ScenarioSpec::new("fig17_loose_capacity");
+    let idx = spec.code(code.clone());
+    let mut exec_times = Vec::new();
+    for &cap in capacities {
+        let design = qccd::compiler::codesign::BaselineGrid::with_capacity(cap);
+        let round = design.compile(code, &times);
+        exec_times.push(round.execution_time);
+        spec.point(format!("baseline/cap={cap}"), idx, p, round.execution_time);
+    }
+    (spec, exec_times)
+}
+
 /// Fig. 17: the baseline's LER when its traps are given excess capacity.
 pub fn fig17_loose_capacity(
     code: &CssCode,
@@ -385,20 +531,26 @@ pub fn fig17_loose_capacity(
     capacities: &[usize],
     config: &MemoryConfig,
 ) -> Vec<LooseCapacityRow> {
-    let times = OperationTimes::default();
-    let mut exp = sweep_experiment(code, p, config);
+    fig17_loose_capacity_with(code, p, capacities, &SweepOptions::ephemeral(*config))
+}
+
+/// [`fig17_loose_capacity`] with full sweep control (thread pool + cache).
+pub fn fig17_loose_capacity_with(
+    code: &CssCode,
+    p: f64,
+    capacities: &[usize],
+    options: &SweepOptions,
+) -> Vec<LooseCapacityRow> {
+    let (spec, exec_times) = fig17_spec(code, p, capacities);
+    let result = run_sweep(&spec, options);
     capacities
         .iter()
-        .map(|&cap| {
-            let topo = baseline_grid(code.num_qubits(), cap);
-            let placement = greedy_cluster_placement(code, &topo);
-            let round =
-                compile_baseline_with_placement(code, &topo, &times, &serial_schedule(code), &placement);
-            LooseCapacityRow {
-                capacity: cap,
-                execution_time: round.execution_time,
-                ler: ler_at(&mut exp, p, round.execution_time, config),
-            }
+        .zip(exec_times)
+        .zip(&result.points)
+        .map(|((&capacity, execution_time), outcome)| LooseCapacityRow {
+            capacity,
+            execution_time,
+            ler: outcome.ler,
         })
         .collect()
 }
@@ -422,6 +574,26 @@ pub struct OpTimeSweepRow {
     pub cyclone_latency: f64,
 }
 
+/// Declares the Fig. 18 scenario: baseline and Cyclone recompiled under uniformly
+/// reduced operation times. Returns the spec and the per-reduction
+/// `(baseline_latency, cyclone_latency)` pairs.
+pub fn fig18_spec(code: &CssCode, p: f64, reductions: &[f64]) -> (ScenarioSpec, Vec<(f64, f64)>) {
+    let baseline = registered("baseline");
+    let cyclone = registered("cyclone");
+    let mut spec = ScenarioSpec::new("fig18_op_time_sweep");
+    let idx = spec.code(code.clone());
+    let mut latencies = Vec::new();
+    for &r in reductions {
+        let times = OperationTimes::default().scaled(r);
+        let base = baseline(code, &times);
+        let cyc = cyclone(code, &times);
+        latencies.push((base.execution_time, cyc.execution_time));
+        spec.point(format!("baseline/r={r}"), idx, p, base.execution_time);
+        spec.point(format!("cyclone/r={r}"), idx, p, cyc.execution_time);
+    }
+    (spec, latencies)
+}
+
 /// Fig. 18: LER of baseline and Cyclone as gate and shuttling times are reduced by a
 /// uniform percentage.
 pub fn fig18_op_time_sweep(
@@ -430,20 +602,28 @@ pub fn fig18_op_time_sweep(
     reductions: &[f64],
     config: &MemoryConfig,
 ) -> Vec<OpTimeSweepRow> {
-    let mut exp = sweep_experiment(code, p, config);
+    fig18_op_time_sweep_with(code, p, reductions, &SweepOptions::ephemeral(*config))
+}
+
+/// [`fig18_op_time_sweep`] with full sweep control (thread pool + cache).
+pub fn fig18_op_time_sweep_with(
+    code: &CssCode,
+    p: f64,
+    reductions: &[f64],
+    options: &SweepOptions,
+) -> Vec<OpTimeSweepRow> {
+    let (spec, latencies) = fig18_spec(code, p, reductions);
+    let result = run_sweep(&spec, options);
     reductions
         .iter()
-        .map(|&r| {
-            let times = OperationTimes::default().scaled(r);
-            let base = baseline_round(code, &times);
-            let cyc = cyclone_round(code, &times);
-            OpTimeSweepRow {
-                reduction: r,
-                baseline_ler: ler_at(&mut exp, p, base.execution_time, config),
-                cyclone_ler: ler_at(&mut exp, p, cyc.execution_time, config),
-                baseline_latency: base.execution_time,
-                cyclone_latency: cyc.execution_time,
-            }
+        .zip(latencies)
+        .zip(result.points.chunks(2))
+        .map(|((&r, (baseline_latency, cyclone_latency)), pair)| OpTimeSweepRow {
+            reduction: r,
+            baseline_ler: pair[0].ler,
+            cyclone_ler: pair[1].ler,
+            baseline_latency,
+            cyclone_latency,
         })
         .collect()
 }
@@ -467,19 +647,21 @@ pub struct ExecutionTimeRow {
 
 /// Fig. 19: raw execution times on the alternate grid, baseline grid, and Cyclone.
 pub fn fig19_execution_times(codes: &[CssCode], times: &OperationTimes) -> Vec<ExecutionTimeRow> {
+    let registry = standard_registry();
+    let cell = |label: &str, code: &CssCode| {
+        registry
+            .get(label)
+            .unwrap_or_else(|| panic!("codesign `{label}` not registered"))
+            .compile(code, times)
+            .execution_time
+    };
     codes
         .iter()
-        .map(|code| {
-            let alt = alternate_grid(code.num_qubits(), BASELINE_CAPACITY);
-            let alt_round = compile_baseline(code, &alt, times, &serial_schedule(code));
-            let base = baseline_round(code, times);
-            let cyc = cyclone_round(code, times);
-            ExecutionTimeRow {
-                code: code.descriptor(),
-                alternate_grid: alt_round.execution_time,
-                baseline: base.execution_time,
-                cyclone: cyc.execution_time,
-            }
+        .map(|code| ExecutionTimeRow {
+            code: code.descriptor(),
+            alternate_grid: cell("alternate-grid", code),
+            baseline: cell("baseline", code),
+            cyclone: cell("cyclone", code),
         })
         .collect()
 }
@@ -509,23 +691,28 @@ pub struct CompilerComparisonRow {
     pub parallelization: f64,
 }
 
+/// The `(display name, registry label)` pairs of the Fig. 20 comparison.
+pub const FIG20_COMPILERS: [(&str, &str); 4] = [
+    ("Baseline (EJF)", "baseline"),
+    ("Baseline 2 (shuttle-muzzled)", "baseline2"),
+    ("Baseline 3 (MoveLess-style)", "baseline3"),
+    ("Cyclone", "cyclone"),
+];
+
 /// Fig. 20: total and component-wise execution times of the three baseline compilers
 /// and Cyclone on the same code, plus the realized parallelization.
 pub fn fig20_compiler_comparison(code: &CssCode, times: &OperationTimes) -> Vec<CompilerComparisonRow> {
-    let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
-    let sched = serial_schedule(code);
-    let rounds = vec![
-        ("Baseline (EJF)".to_string(), compile_baseline(code, &topo, times, &sched)),
-        ("Baseline 2 (shuttle-muzzled)".to_string(), compile_baseline2(code, &topo, times, &sched)),
-        ("Baseline 3 (MoveLess-style)".to_string(), compile_baseline3(code, &topo, times, &sched)),
-        ("Cyclone".to_string(), cyclone_round(code, times)),
-    ];
-    rounds
-        .into_iter()
-        .map(|(compiler, round)| {
+    let registry = standard_registry();
+    FIG20_COMPILERS
+        .iter()
+        .map(|&(display, label)| {
+            let round = registry
+                .get(label)
+                .unwrap_or_else(|| panic!("codesign `{label}` not registered"))
+                .compile(code, times);
             let b = round.breakdown;
             CompilerComparisonRow {
-                compiler,
+                compiler: display.to_string(),
                 execution_time: round.execution_time,
                 serialized_total: b.serialized_total(),
                 gate: b.gate,
@@ -555,19 +742,21 @@ pub struct SwapSensitivityRow {
 
 /// Fig. 21: execution time of baseline and Cyclone under GateSwap vs IonSwap.
 pub fn fig21_swap_sensitivity(code: &CssCode) -> Vec<SwapSensitivityRow> {
+    let registry = standard_registry();
     let mut rows = Vec::new();
     for kind in [SwapKind::GateSwap, SwapKind::IonSwap] {
         let times = OperationTimes::default().with_swap_kind(kind);
-        rows.push(SwapSensitivityRow {
-            codesign: "baseline".to_string(),
-            swap_kind: kind.to_string(),
-            execution_time: baseline_round(code, &times).execution_time,
-        });
-        rows.push(SwapSensitivityRow {
-            codesign: "cyclone".to_string(),
-            swap_kind: kind.to_string(),
-            execution_time: cyclone_round(code, &times).execution_time,
-        });
+        for label in ["baseline", "cyclone"] {
+            rows.push(SwapSensitivityRow {
+                codesign: label.to_string(),
+                swap_kind: kind.to_string(),
+                execution_time: registry
+                    .get(label)
+                    .unwrap_or_else(|| panic!("codesign `{label}` not registered"))
+                    .compile(code, &times)
+                    .execution_time,
+            });
+        }
     }
     rows
 }
@@ -605,7 +794,7 @@ pub fn spatial_summary(codes: &[CssCode]) -> Vec<SpatialRow> {
         .iter()
         .map(|code| {
             let grid = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
-            let design = CycloneCodesign::new(code, CycloneConfig::base());
+            let design = Cyclone::base().instantiate(code);
             let ring_topo = design.topology();
             SpatialRow {
                 code: code.descriptor(),
@@ -620,6 +809,15 @@ pub fn spatial_summary(codes: &[CssCode]) -> Vec<SpatialRow> {
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Sweep summary — the per-figure totals EXPERIMENTS.md and CI artifacts report
+// ---------------------------------------------------------------------------
+
+/// Cache/compute totals of one figure's sweep (reported by the bench frontends).
+pub fn sweep_totals(result: &SweepResult) -> (usize, usize, usize) {
+    (result.points.len(), result.cache_hits, result.computed)
 }
 
 #[cfg(test)]
@@ -714,5 +912,23 @@ mod tests {
         let rows = fig5_latency_vs_ler(std::slice::from_ref(&code), 5e-3, &[1.0, 2.0, 4.0], &quick_config());
         assert_eq!(rows.len(), 3);
         assert!(rows[0].latency > rows[2].latency);
+    }
+
+    #[test]
+    fn fig9_rows_share_the_baseline_reference() {
+        let code = tiny_hgp();
+        let rows = fig9_junction_sensitivity(&code, 5e-3, &[0.0, 0.5], &quick_config());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].baseline_ler.ler, rows[1].baseline_ler.ler);
+        assert!(rows[1].mesh_execution_time < rows[0].mesh_execution_time);
+    }
+
+    #[test]
+    fn fig18_rows_pair_baseline_and_cyclone() {
+        let code = tiny_hgp();
+        let rows = fig18_op_time_sweep(&code, 5e-3, &[0.0, 0.5], &quick_config());
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].baseline_latency < rows[0].baseline_latency);
+        assert!(rows.iter().all(|r| r.cyclone_latency < r.baseline_latency));
     }
 }

@@ -12,7 +12,11 @@
 //! * [`codesign`] — the Cyclone compiler and its closed-form runtime bound.
 //! * [`condensed`] — "tight" variants trading trap count for trap density (Fig. 13).
 //! * [`split_loops`] — the independent-loop analysis of §IV-C.
-//! * [`experiments`] — runners that regenerate every figure of the evaluation.
+//! * [`registry`] — [`qccd::compiler::Codesign`] impls for Cyclone and the standard
+//!   registry of every codesign the evaluation compares.
+//! * [`sweep`] — the parallel, cache-backed scenario sweep engine.
+//! * [`experiments`] — declarative scenario specs that regenerate every figure of
+//!   the evaluation through the sweep engine.
 //!
 //! # Quick example
 //!
@@ -35,7 +39,11 @@
 pub mod codesign;
 pub mod condensed;
 pub mod experiments;
+pub mod registry;
 pub mod split_loops;
+pub mod sweep;
 
 pub use codesign::{CycloneCodesign, CycloneConfig};
 pub use condensed::{best_configuration, default_trap_counts, trap_capacity_sweep, TrapSweepPoint};
+pub use registry::{standard_registry, Cyclone};
+pub use sweep::{run_sweep, ScenarioSpec, SweepOptions, SweepResult};

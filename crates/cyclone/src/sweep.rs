@@ -1,0 +1,387 @@
+//! The scenario sweep engine: declarative figure specifications executed across a
+//! shared worker pool at operating-point granularity, with a JSON result cache.
+//!
+//! A [`ScenarioSpec`] names a figure and enumerates its Monte-Carlo operating points
+//! (`code × physical error rate × round latency`, each with a unique id). The engine
+//! ([`run_sweep`]):
+//!
+//! * executes every point across [`decoder::memory::estimate_points`]'s worker pool —
+//!   points are embarrassingly parallel, so a multi-point figure scales with the host
+//!   core count at *point* granularity;
+//! * is deterministic at any thread count: every point is evaluated with the same
+//!   per-shot RNG streams derived from [`MemoryConfig::seed`] (the workspace's
+//!   `0xC1C1_0DE5` convention, shared with `decoder::memory`), so results are
+//!   bit-identical whether `CYCLONE_THREADS` is 1 or 64;
+//! * serializes results to `sweeps/<figure>.json` and reuses them as a cache on
+//!   re-runs: a point is recomputed only when its id, operating point, or Monte-Carlo
+//!   configuration changed, so quick-mode CI runs and full-shot local runs compose
+//!   without poisoning each other (a corrupt or missing cache file simply falls back
+//!   to recomputation).
+
+use decoder::memory::{estimate_points, LerEstimate, LerPoint, MemoryConfig};
+use qec::CssCode;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One Monte-Carlo operating point of a scenario sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// Unique id within the spec (cache key and diagnostic label), e.g.
+    /// `"cyclone/[[72,12,6]]/p=1e-3"`.
+    pub id: String,
+    /// Index into [`ScenarioSpec::codes`].
+    pub code: usize,
+    /// Physical error rate.
+    pub p: f64,
+    /// Round latency in seconds.
+    pub latency: f64,
+}
+
+/// A declarative scenario sweep: the codes of one figure and every operating point
+/// to estimate.
+#[derive(Debug, Default)]
+pub struct ScenarioSpec {
+    /// Figure name; the cache file is `sweeps/<figure>.json`.
+    pub figure: String,
+    /// The codes referenced by the points.
+    pub codes: Vec<CssCode>,
+    /// The operating points, in output order.
+    pub points: Vec<OperatingPoint>,
+}
+
+impl ScenarioSpec {
+    /// An empty spec for the given figure.
+    pub fn new(figure: impl Into<String>) -> Self {
+        ScenarioSpec {
+            figure: figure.into(),
+            codes: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a code and returns its index for use in [`ScenarioSpec::point`].
+    pub fn code(&mut self, code: CssCode) -> usize {
+        self.codes.push(code);
+        self.codes.len() - 1
+    }
+
+    /// Adds one operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range or the id duplicates an earlier point's.
+    pub fn point(&mut self, id: impl Into<String>, code: usize, p: f64, latency: f64) -> &mut Self {
+        let id = id.into();
+        assert!(code < self.codes.len(), "code index {code} out of range");
+        assert!(
+            self.points.iter().all(|pt| pt.id != id),
+            "duplicate point id `{id}`"
+        );
+        self.points.push(OperatingPoint { id, code, p, latency });
+        self
+    }
+}
+
+/// How [`run_sweep`] executes a spec.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Monte-Carlo configuration applied to every point (`threads` sizes the
+    /// point-level worker pool; the estimate itself is thread-count invariant).
+    pub config: MemoryConfig,
+    /// Cache directory (`sweeps/` by convention). `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// Runs entirely in memory — no cache reads or writes (the default for unit
+    /// tests and library callers).
+    pub fn ephemeral(config: MemoryConfig) -> Self {
+        SweepOptions {
+            config,
+            cache_dir: None,
+        }
+    }
+
+    /// Reads and writes `<dir>/<figure>.json` around the run.
+    pub fn cached(config: MemoryConfig, dir: impl Into<PathBuf>) -> Self {
+        SweepOptions {
+            config,
+            cache_dir: Some(dir.into()),
+        }
+    }
+}
+
+/// One executed operating point.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// The spec's point id.
+    pub id: String,
+    /// Physical error rate of the point.
+    pub p: f64,
+    /// Round latency of the point, seconds.
+    pub latency: f64,
+    /// The logical-error-rate estimate.
+    pub ler: LerEstimate,
+    /// Whether the estimate was served from the cache.
+    pub cached: bool,
+}
+
+/// The result of one sweep, points in spec order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The spec's figure name.
+    pub figure: String,
+    /// One outcome per spec point, in order.
+    pub points: Vec<PointOutcome>,
+    /// How many points were served from the cache.
+    pub cache_hits: usize,
+    /// How many points were recomputed.
+    pub computed: usize,
+}
+
+impl SweepResult {
+    /// The estimates alone, in spec order (the shape most figure assemblers want).
+    pub fn estimates(&self) -> Vec<LerEstimate> {
+        self.points.iter().map(|p| p.ler).collect()
+    }
+}
+
+/// Executes a scenario sweep: cache lookup, parallel estimation of the misses at
+/// point granularity, cache write-back.
+///
+/// # Panics
+///
+/// Panics if the spec references an out-of-range code index (point construction via
+/// [`ScenarioSpec::point`] already prevents this).
+pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
+    for point in &spec.points {
+        assert!(
+            point.code < spec.codes.len(),
+            "point `{}` references code {} but the spec has {}",
+            point.id,
+            point.code,
+            spec.codes.len()
+        );
+    }
+
+    let cache_path = options
+        .cache_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("{}.json", spec.figure)));
+    let cached = cache_path
+        .as_deref()
+        .map(|path| load_cache(path, spec, &options.config))
+        .unwrap_or_default();
+
+    // Estimate the misses across the shared pool, then stitch hits and misses back
+    // into spec order.
+    let misses: Vec<usize> = (0..spec.points.len())
+        .filter(|i| !cached.contains_key(&spec.points[*i].id))
+        .collect();
+    let jobs: Vec<LerPoint<'_>> = misses
+        .iter()
+        .map(|&i| {
+            let point = &spec.points[i];
+            LerPoint {
+                code: &spec.codes[point.code],
+                p: point.p,
+                latency: point.latency,
+            }
+        })
+        .collect();
+    let fresh = estimate_points(&jobs, &options.config);
+
+    let mut fresh_by_index: BTreeMap<usize, LerEstimate> = BTreeMap::new();
+    for (&i, est) in misses.iter().zip(fresh) {
+        fresh_by_index.insert(i, est);
+    }
+    let points: Vec<PointOutcome> = spec
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, point)| match cached.get(&point.id) {
+            Some(&ler) => PointOutcome {
+                id: point.id.clone(),
+                p: point.p,
+                latency: point.latency,
+                ler,
+                cached: true,
+            },
+            None => PointOutcome {
+                id: point.id.clone(),
+                p: point.p,
+                latency: point.latency,
+                ler: fresh_by_index[&i],
+                cached: false,
+            },
+        })
+        .collect();
+
+    let cache_hits = points.iter().filter(|p| p.cached).count();
+    let result = SweepResult {
+        figure: spec.figure.clone(),
+        computed: points.len() - cache_hits,
+        cache_hits,
+        points,
+    };
+
+    if let Some(path) = cache_path.as_deref() {
+        if let Err(err) = store_cache(path, spec, &options.config, &result) {
+            eprintln!(
+                "warning: could not write sweep cache {}: {err}",
+                path.display()
+            );
+        }
+    }
+    result
+}
+
+/// Loads reusable per-point estimates from a cache file. Any structural problem —
+/// missing file, malformed JSON, wrong figure, changed Monte-Carlo configuration —
+/// yields an empty map, i.e. full recomputation.
+fn load_cache(path: &Path, spec: &ScenarioSpec, config: &MemoryConfig) -> BTreeMap<String, LerEstimate> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(doc) = serde_json::from_str(&text) else {
+        return BTreeMap::new();
+    };
+    // The u64 seed is stored as a decimal string — the shim's JSON numbers are
+    // f64, which would silently round seeds above 2^53.
+    if doc.get("figure").and_then(Value::as_str) != Some(spec.figure.as_str())
+        || doc.get("seed").and_then(Value::as_str) != Some(config.seed.to_string().as_str())
+        || doc.get("shots").and_then(Value::as_u64) != Some(config.shots as u64)
+        || doc.get("bp_iterations").and_then(Value::as_u64) != Some(config.bp_iterations as u64)
+    {
+        return BTreeMap::new();
+    }
+    let Some(entries) = doc.get("points").and_then(Value::as_array) else {
+        return BTreeMap::new();
+    };
+    let mut reusable = BTreeMap::new();
+    for entry in entries {
+        let Some(id) = entry.get("id").and_then(Value::as_str) else {
+            continue;
+        };
+        // A cached estimate is reused only when its operating point matches the
+        // spec's bit-for-bit (floats survive the JSON round trip exactly thanks to
+        // shortest-roundtrip formatting).
+        let Some(point) = spec.points.iter().find(|p| p.id == id) else {
+            continue;
+        };
+        let (Some(p), Some(latency), Some(shots), Some(failures)) = (
+            entry.get("p").and_then(Value::as_f64),
+            entry.get("latency").and_then(Value::as_f64),
+            entry.get("shots").and_then(Value::as_u64),
+            entry.get("failures").and_then(Value::as_u64),
+        ) else {
+            continue;
+        };
+        if p == point.p && latency == point.latency && shots == config.shots as u64 && shots > 0 {
+            reusable.insert(
+                id.to_string(),
+                LerEstimate::from_counts(shots as usize, failures as usize),
+            );
+        }
+    }
+    reusable
+}
+
+/// Serializes a sweep result (plus the configuration that produced it) as the
+/// figure's cache file.
+fn store_cache(
+    path: &Path,
+    spec: &ScenarioSpec,
+    config: &MemoryConfig,
+    result: &SweepResult,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut root = BTreeMap::new();
+    root.insert("figure".to_string(), Value::from(spec.figure.clone()));
+    root.insert("seed".to_string(), Value::from(config.seed.to_string()));
+    root.insert("shots".to_string(), Value::from(config.shots));
+    root.insert("bp_iterations".to_string(), Value::from(config.bp_iterations));
+    let entries: Vec<Value> = result
+        .points
+        .iter()
+        .map(|point| {
+            let mut entry = BTreeMap::new();
+            entry.insert("id".to_string(), Value::from(point.id.clone()));
+            entry.insert("p".to_string(), Value::Number(point.p));
+            entry.insert("latency".to_string(), Value::Number(point.latency));
+            entry.insert("shots".to_string(), Value::from(point.ler.shots));
+            entry.insert("failures".to_string(), Value::from(point.ler.failures));
+            entry.insert("ler".to_string(), Value::Number(point.ler.ler));
+            entry.insert("std_err".to_string(), Value::Number(point.ler.std_err));
+            Value::Object(entry)
+        })
+        .collect();
+    root.insert("points".to_string(), Value::Array(entries));
+    let mut text = serde_json::to_string(&Value::Object(root));
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qec::codes::bb_72_12_6;
+
+    fn quick_config() -> MemoryConfig {
+        MemoryConfig {
+            shots: 60,
+            bp_iterations: 12,
+            threads: 2,
+            seed: 0xC1C1_0DE5,
+        }
+    }
+
+    fn tiny_spec(figure: &str) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::new(figure);
+        let code = spec.code(bb_72_12_6().expect("valid"));
+        spec.point("a", code, 3e-3, 0.0);
+        spec.point("b", code, 3e-3, 0.05);
+        spec.point("c", code, 8e-3, 0.01);
+        spec
+    }
+
+    #[test]
+    fn sweep_matches_direct_estimates() {
+        let spec = tiny_spec("unit-direct");
+        let config = quick_config();
+        let result = run_sweep(&spec, &SweepOptions::ephemeral(config));
+        assert_eq!(result.figure, "unit-direct");
+        assert_eq!(result.computed, 3);
+        assert_eq!(result.cache_hits, 0);
+        for (point, outcome) in spec.points.iter().zip(&result.points) {
+            let direct = decoder::memory::logical_error_rate(
+                &spec.codes[point.code],
+                point.p,
+                point.latency,
+                &config,
+            );
+            assert_eq!(outcome.ler.failures, direct.failures, "{} diverged", point.id);
+            assert_eq!(outcome.ler.ler, direct.ler);
+            assert!(!outcome.cached);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate point id")]
+    fn spec_rejects_duplicate_ids() {
+        let mut spec = ScenarioSpec::new("dup");
+        let code = spec.code(bb_72_12_6().expect("valid"));
+        spec.point("same", code, 1e-3, 0.0);
+        spec.point("same", code, 2e-3, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn spec_rejects_bad_code_index() {
+        let mut spec = ScenarioSpec::new("bad");
+        spec.point("a", 0, 1e-3, 0.0);
+    }
+}

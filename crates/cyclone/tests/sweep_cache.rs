@@ -1,0 +1,178 @@
+//! Sweep-engine behavior: determinism across pool sizes, cache hit/miss/corruption
+//! semantics, and the `covers_all_gates` invariant for every registered codesign.
+
+use cyclone::standard_registry;
+use cyclone::sweep::{run_sweep, ScenarioSpec, SweepOptions};
+use decoder::memory::MemoryConfig;
+use std::path::PathBuf;
+
+fn quick_config(threads: usize) -> MemoryConfig {
+    MemoryConfig {
+        shots: 60,
+        bp_iterations: 12,
+        threads,
+        seed: 0xC1C1_0DE5,
+    }
+}
+
+fn tiny_spec(figure: &str) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(figure);
+    let bb = spec.code(qec::codes::bb_72_12_6().expect("valid"));
+    let hgp = spec.code(qec::codes::hgp_100().expect("valid"));
+    spec.point("bb/p=3e-3", bb, 3e-3, 0.01);
+    spec.point("bb/p=8e-3", bb, 8e-3, 0.01);
+    spec.point("hgp/p=3e-3", hgp, 3e-3, 0.02);
+    spec.point("hgp/p=8e-3", hgp, 8e-3, 0.0);
+    spec
+}
+
+/// A unique scratch directory per test, cleaned up on entry (no timestamps: the
+/// test name keys it, the process id separates concurrent suite runs).
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cyclone-sweep-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sweep_is_deterministic_across_pool_sizes() {
+    // The CYCLONE_THREADS knob feeds MemoryConfig::threads; the engine must be
+    // bit-identical at 1 and 4 workers.
+    let spec = tiny_spec("det");
+    let one = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(1)));
+    let four = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(4)));
+    for (a, b) in one.points.iter().zip(&four.points) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.ler.failures, b.ler.failures, "point {} diverged", a.id);
+        assert_eq!(a.ler.ler, b.ler.ler);
+        assert_eq!(a.ler.std_err, b.ler.std_err);
+    }
+}
+
+#[test]
+fn cache_round_trip_serves_identical_estimates() {
+    let dir = scratch_dir("roundtrip");
+    let spec = tiny_spec("roundtrip");
+    let options = SweepOptions::cached(quick_config(2), &dir);
+
+    let first = run_sweep(&spec, &options);
+    assert_eq!(first.computed, 4);
+    assert_eq!(first.cache_hits, 0);
+    assert!(dir.join("roundtrip.json").is_file(), "cache file must be written");
+
+    let second = run_sweep(&spec, &options);
+    assert_eq!(second.cache_hits, 4, "second run must be fully cached");
+    assert_eq!(second.computed, 0);
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.ler.failures, b.ler.failures);
+        assert_eq!(a.ler.ler, b.ler.ler);
+        assert_eq!(a.ler.std_err, b.ler.std_err, "reconstructed estimate must round-trip");
+        assert!(b.cached);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_falls_back_to_recompute() {
+    let dir = scratch_dir("corrupt");
+    let spec = tiny_spec("corrupt");
+    let options = SweepOptions::cached(quick_config(2), &dir);
+    let first = run_sweep(&spec, &options);
+
+    // Truncated JSON → full recompute, and the file is repaired afterwards.
+    std::fs::write(dir.join("corrupt.json"), "{\"figure\": \"corrupt\", \"poi").expect("write");
+    let after_corruption = run_sweep(&spec, &options);
+    assert_eq!(after_corruption.cache_hits, 0, "corrupt cache must not serve hits");
+    assert_eq!(after_corruption.computed, 4);
+    for (a, b) in first.points.iter().zip(&after_corruption.points) {
+        assert_eq!(a.ler.ler, b.ler.ler, "recompute must reproduce the original estimate");
+    }
+    let repaired = run_sweep(&spec, &options);
+    assert_eq!(repaired.cache_hits, 4, "cache file must be rewritten after corruption");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_configuration_invalidates_the_cache() {
+    let dir = scratch_dir("config");
+    let spec = tiny_spec("config");
+    run_sweep(&spec, &SweepOptions::cached(quick_config(2), &dir));
+
+    // More shots → the quick-run cache must not satisfy the full-shot run.
+    let full = run_sweep(
+        &spec,
+        &SweepOptions::cached(MemoryConfig { shots: 90, ..quick_config(2) }, &dir),
+    );
+    assert_eq!(full.cache_hits, 0);
+    assert!(full.points.iter().all(|p| p.ler.shots == 90));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_operating_point_recomputes_only_that_point() {
+    let dir = scratch_dir("partial");
+    let spec = tiny_spec("partial");
+    run_sweep(&spec, &SweepOptions::cached(quick_config(2), &dir));
+
+    // Same ids, one point moved to a new latency → 3 hits + 1 recompute.
+    let mut moved = ScenarioSpec::new("partial");
+    let bb = moved.code(qec::codes::bb_72_12_6().expect("valid"));
+    let hgp = moved.code(qec::codes::hgp_100().expect("valid"));
+    moved.point("bb/p=3e-3", bb, 3e-3, 0.01);
+    moved.point("bb/p=8e-3", bb, 8e-3, 0.25);
+    moved.point("hgp/p=3e-3", hgp, 3e-3, 0.02);
+    moved.point("hgp/p=8e-3", hgp, 8e-3, 0.0);
+    let result = run_sweep(&moved, &SweepOptions::cached(quick_config(2), &dir));
+    assert_eq!(result.cache_hits, 3);
+    assert_eq!(result.computed, 1);
+    assert!(!result.points[1].cached, "the moved point must be recomputed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_validates_seeds_above_f64_precision() {
+    // Regression: the seed is stored as a decimal string because the JSON shim's
+    // numbers are f64 — a seed above 2^53 must still produce cache hits.
+    let dir = scratch_dir("bigseed");
+    let spec = tiny_spec("bigseed");
+    let config = MemoryConfig {
+        seed: (1u64 << 53) + 1,
+        ..quick_config(2)
+    };
+    run_sweep(&spec, &SweepOptions::cached(config, &dir));
+    let second = run_sweep(&spec, &SweepOptions::cached(config, &dir));
+    assert_eq!(second.cache_hits, 4, "odd 54-bit seed must round-trip the cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_cache_dir_is_created() {
+    let dir = scratch_dir("mkdir").join("nested/deeper");
+    let spec = tiny_spec("mkdir");
+    let result = run_sweep(&spec, &SweepOptions::cached(quick_config(2), &dir));
+    assert_eq!(result.computed, 4);
+    assert!(dir.join("mkdir.json").is_file());
+    let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+}
+
+#[test]
+fn every_registered_codesign_covers_all_gates() {
+    // The Cyclone-specific invariant generalized through the trait: every codesign
+    // must execute each stabilizer-support gate exactly once, on both code
+    // families. (The expensive grid/mesh codesigns are exercised on the small
+    // catalog codes; CYCLONE_FULL=1 in the regression suite covers the rest.)
+    let registry = standard_registry();
+    for code in [
+        qec::codes::bb_72_12_6().expect("valid"),
+        qec::codes::hgp_100().expect("valid"),
+    ] {
+        for design in registry.iter() {
+            assert!(
+                design.covers_all_gates(&code),
+                "codesign `{}` missed gates on {}",
+                design.name(),
+                code.descriptor()
+            );
+        }
+    }
+}

@@ -35,7 +35,13 @@ pub struct LerEstimate {
 }
 
 impl LerEstimate {
-    fn from_counts(shots: usize, failures: usize) -> Self {
+    /// Builds the estimate from raw counts (the only constructor, so a cached
+    /// `(shots, failures)` pair round-trips to a bit-identical estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots` is zero.
+    pub fn from_counts(shots: usize, failures: usize) -> Self {
         assert!(shots > 0, "need at least one shot");
         let raw = failures as f64 / shots as f64;
         let ler = if failures == 0 { 0.5 / shots as f64 } else { raw };
@@ -90,7 +96,9 @@ impl MemoryConfig {
         }
     }
 
-    fn worker_count(&self) -> usize {
+    /// Resolves the configured thread count to a concrete worker count
+    /// (0 = available parallelism, capped at 16).
+    pub fn worker_count(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -245,6 +253,87 @@ impl<'a> MemoryExperiment<'a> {
     }
 }
 
+/// One operating point of a logical-error-rate sweep: a code evaluated at physical
+/// error rate `p` with a syndrome-extraction round latency of `latency` seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct LerPoint<'a> {
+    /// The code under test.
+    pub code: &'a CssCode,
+    /// Physical error rate.
+    pub p: f64,
+    /// Round latency in seconds (drives the decoherence contribution).
+    pub latency: f64,
+}
+
+/// Estimates every point of a sweep across a shared worker pool at *point*
+/// granularity, returning the estimates in input order.
+///
+/// This is the parallel primitive under the `cyclone::sweep` engine: sweeps are
+/// embarrassingly parallel across operating points, so instead of parallelizing the
+/// shots *within* one point (as [`MemoryExperiment::run`] does) the pool runs whole
+/// points concurrently, each single-threaded. Every point is evaluated exactly as
+/// [`logical_error_rate`] would — same shot count, same per-shot RNG streams derived
+/// from [`MemoryConfig::seed`] — so the result vector is bit-identical to the serial
+/// loop at every worker count.
+///
+/// Workers reuse one [`MemoryExperiment`] (the expensive-to-build sector decoder
+/// pair) per distinct code, moving it between operating points with
+/// [`MemoryExperiment::set_model`]. `config.threads` sizes the pool (0 = available
+/// parallelism, capped at 16).
+pub fn estimate_points(points: &[LerPoint<'_>], config: &MemoryConfig) -> Vec<LerEstimate> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let workers = config.worker_count().max(1).min(points.len());
+    // Each point samples with a single worker thread; LER estimates are thread-count
+    // invariant, so this only affects scheduling, never the values.
+    let point_config = MemoryConfig {
+        threads: 1,
+        ..*config
+    };
+    let next_point = AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<LerEstimate>>> =
+        points.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Decoder pairs are cached per code (keyed by the reference's
+                // address, stable for the duration of the scope).
+                let mut experiments: Vec<(*const CssCode, MemoryExperiment<'_>)> = Vec::new();
+                loop {
+                    let i = next_point.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let point = &points[i];
+                    let key = std::ptr::from_ref(point.code);
+                    let model =
+                        HardwareNoiseModel::new(noise::NoiseParameters::new(point.p), point.latency);
+                    let exp = match experiments.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, exp)) => {
+                            exp.set_model(model);
+                            exp
+                        }
+                        None => {
+                            experiments.push((
+                                key,
+                                MemoryExperiment::new(point.code, model, point_config.bp_iterations),
+                            ));
+                            &mut experiments.last_mut().expect("just pushed").1
+                        }
+                    };
+                    let estimate = exp.run(&point_config);
+                    *results[i].lock().expect("unpoisoned") = Some(estimate);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("unpoisoned").expect("every point ran"))
+        .collect()
+}
+
 /// XORs two equal-length slices into a reused output buffer.
 fn xor_into(a: &[bool], b: &[bool], out: &mut Vec<bool>) {
     debug_assert_eq!(a.len(), b.len());
@@ -372,6 +461,56 @@ mod tests {
                 "shot {shot} diverged between allocating and scratch paths"
             );
         }
+    }
+
+    #[test]
+    fn estimate_points_matches_serial_calls() {
+        let code = bb_72_12_6().expect("valid");
+        let cfg = MemoryConfig {
+            shots: 120,
+            bp_iterations: 20,
+            threads: 4,
+            seed: 0xC1C1_0DE5,
+        };
+        let points = [
+            LerPoint { code: &code, p: 2e-3, latency: 0.0 },
+            LerPoint { code: &code, p: 2e-3, latency: 0.05 },
+            LerPoint { code: &code, p: 8e-3, latency: 0.01 },
+        ];
+        let pooled = estimate_points(&points, &cfg);
+        assert_eq!(pooled.len(), 3);
+        for (point, est) in points.iter().zip(&pooled) {
+            let direct = logical_error_rate(point.code, point.p, point.latency, &cfg);
+            assert_eq!(est.failures, direct.failures, "point {point:?} diverged");
+            assert_eq!(est.ler, direct.ler);
+            assert_eq!(est.shots, direct.shots);
+        }
+    }
+
+    #[test]
+    fn estimate_points_is_pool_size_invariant() {
+        let code = bb_72_12_6().expect("valid");
+        let base = MemoryConfig {
+            shots: 80,
+            bp_iterations: 15,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let points: Vec<LerPoint<'_>> = [1e-3, 3e-3, 6e-3, 9e-3]
+            .iter()
+            .map(|&p| LerPoint { code: &code, p, latency: 0.02 })
+            .collect();
+        let serial = estimate_points(&points, &base);
+        let pooled = estimate_points(&points, &MemoryConfig { threads: 4, ..base });
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.ler, b.ler);
+        }
+    }
+
+    #[test]
+    fn estimate_points_handles_empty_input() {
+        assert!(estimate_points(&[], &MemoryConfig::default()).is_empty());
     }
 
     #[test]

@@ -82,13 +82,18 @@ pub(crate) fn run_static_ejf(
     }
     assert_eq!(processed, n, "dependency graph of the gate list must be acyclic");
 
-    // Measure every ancilla after its last gate.
+    // Measure every ancilla after its last gate. The drain is sorted so the
+    // simulator accumulates its float breakdown in a fixed order — HashMap
+    // iteration order would otherwise perturb the sums in the last bit from run
+    // to run, breaking bit-identical caching.
     let mut last_gate_end: std::collections::HashMap<(StabKind, usize), f64> = Default::default();
     for (i, g) in gates.iter().enumerate() {
         let e = last_gate_end.entry((g.kind, g.stabilizer)).or_insert(0.0);
         *e = e.max(completion[i]);
     }
-    for ((kind, idx), end) in last_gate_end {
+    let mut measurements: Vec<((StabKind, usize), f64)> = last_gate_end.into_iter().collect();
+    measurements.sort_by_key(|m| m.0);
+    for ((kind, idx), end) in measurements {
         sim.measure_ancilla(kind, idx, end);
     }
 

@@ -48,7 +48,12 @@ pub fn compile_dynamic_with_placement(
         }
         slice_ready = slice_end;
     }
-    for ((kind, idx), end) in ancilla_last_end {
+    // Sorted drain: a fixed measurement order keeps the simulator's float
+    // accumulation bit-identical from run to run (HashMap order is randomized).
+    let mut measurements: Vec<((qec::StabKind, usize), f64)> =
+        ancilla_last_end.into_iter().collect();
+    measurements.sort_by_key(|m| m.0);
+    for ((kind, idx), end) in measurements {
         sim.measure_ancilla(kind, idx, end);
     }
     CompiledRound {

@@ -12,11 +12,18 @@
 //!   "Baseline 3" (MoveLess-style: batch gates by destination trap), used in Fig. 20.
 //! * [`dynamic`] — the dynamic timeslice policy of §III-A (used on grids in Fig. 4a
 //!   and Fig. 6, and on the mesh junction network of §III-C).
+//!
+//! The [`codesign`] module unifies all of them (and the Cyclone compilers layered on
+//! top in the `cyclone` crate) behind the [`Codesign`] trait, enumerable by label
+//! through a [`CodesignRegistry`].
 
 pub mod baseline;
+pub mod codesign;
 pub mod dynamic;
 pub mod sim;
 pub mod variants;
+
+pub use codesign::{Codesign, CodesignRegistry};
 
 use serde::{Deserialize, Serialize};
 

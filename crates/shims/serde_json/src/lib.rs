@@ -1,8 +1,9 @@
 //! Offline API-compatible shim for the `serde_json` crate.
 //!
-//! Provides a self-contained [`Value`] tree with JSON rendering. Generic
-//! `to_string<T: Serialize>` is not offered (the serde shim's traits carry no
-//! methods); callers build a [`Value`] explicitly instead.
+//! Provides a self-contained [`Value`] tree with JSON rendering and parsing.
+//! Generic `to_string<T: Serialize>` is not offered (the serde shim's traits
+//! carry no methods); callers build a [`Value`] explicitly instead and read
+//! parsed documents back through the [`Value`] accessors.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -25,6 +26,64 @@ pub enum Value {
 }
 
 impl Value {
+    /// The number as an `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (`None` for other variants or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Value::Null => out.push_str("null"),
@@ -92,6 +151,240 @@ pub fn to_string(value: &Value) -> String {
     value.to_string()
 }
 
+/// A JSON parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] (the shim's stand-in for
+/// `serde_json::from_str`; it returns the dynamic tree instead of a typed value).
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("non-ASCII \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("malformed \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by the cache files; map
+                            // lone surrogates to the replacement character.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: no UTF-8 validation needed.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(lead) => {
+                    // Consume one multi-byte UTF-8 code point verbatim (validate
+                    // only its own bytes, not the whole remaining input).
+                    let len = match lead {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 lead byte")),
+                    };
+                    let end = self.pos + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
 impl From<bool> for Value {
     fn from(b: bool) -> Self {
         Value::Bool(b)
@@ -153,5 +446,59 @@ mod tests {
     #[test]
     fn non_finite_numbers_are_null() {
         assert_eq!(to_string(&Value::Number(f64::NAN)), "null");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("-2.5e-3").unwrap(), Value::Number(-2.5e-3));
+        assert_eq!(from_str(r#""a\"b\n""#).unwrap(), Value::from("a\"b\n"));
+        assert_eq!(from_str(r#""é""#).unwrap(), Value::from("é"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = from_str(r#"{"pts":[{"p":0.001,"ok":true},{"p":2e-4,"ok":false}],"n":3}"#)
+            .expect("valid JSON");
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        let pts = v.get("pts").and_then(Value::as_array).expect("array");
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[1].get("p").and_then(Value::as_f64), Some(2e-4));
+        assert_eq!(pts[0].get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn render_parse_roundtrips_exactly() {
+        let mut obj = BTreeMap::new();
+        obj.insert("ler".to_string(), Value::Number(7.0 / 400.0));
+        obj.insert("id".to_string(), Value::from("fig05/[[100,4,4]]/s=1"));
+        obj.insert("pts".to_string(), Value::from(vec![1usize, 2, 3]));
+        let v = Value::Object(obj);
+        // f64 values render via the shortest-roundtrip formatter, so a
+        // render→parse cycle reproduces the tree bit-for-bit.
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str(r#"{"a":}"#).is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("nul").is_err());
+    }
+
+    #[test]
+    fn accessors_reject_wrong_variants() {
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Bool(true).as_str(), None);
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+        assert_eq!(Value::Number(3.0).as_u64(), Some(3));
+        assert_eq!(Value::from("x").get("k"), None);
     }
 }
