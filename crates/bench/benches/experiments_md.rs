@@ -227,12 +227,19 @@ fn main() {
     doc.push_str(
         "Generated by `cargo bench -p bench --bench experiments_md` through the\n\
          `cyclone::sweep` engine. Monte-Carlo rows are served from the\n\
-         `sweeps/<figure>.json` cache when it matches the configuration below, so\n\
+         `sweeps/<figure>.json` cache when it satisfies the configuration below, so\n\
          regenerating after the figure suite is nearly free.\n\n",
     );
+    let sampling = match &ctx.sweep.precision {
+        Some(target) => format!(
+            "adaptive sampling (stop at relative std err <= {}, >= {} failures, \
+             <= {} shots/point)",
+            target.target_rse, target.min_failures, target.max_shots
+        ),
+        None => format!("fixed budget, {} shots/point", ctx.config.shots),
+    };
     doc.push_str(&format!(
-        "Configuration: {} shots/point, seed `0xC1C1_0DE5`, BP iterations 30, {} codes.\n\n",
-        ctx.config.shots,
+        "Configuration: {sampling}; seed `0xC1C1_0DE5`, BP iterations 30, {} codes.\n\n",
         codes.len()
     ));
     doc.push_str("| Figure | Scenario | Paper | Measured (this run) |\n");
@@ -244,9 +251,29 @@ fn main() {
         ));
     }
     doc.push_str(
-        "\nRegenerate with more sampling: `CYCLONE_SHOTS=20000 cargo bench -p bench \
-         --bench experiments_md` (or `-- --shots 20000`). `CYCLONE_FULL=1` extends\n\
-         every sweep to the full code catalog.\n",
+        "\n## Sampling modes and the sweep cache\n\n\
+         Every Monte-Carlo point runs in one of two modes:\n\n\
+         * **Fixed budget** (the default): exactly `--shots` / `CYCLONE_SHOTS`\n\
+           Monte-Carlo shots per point, bit-identical at any thread count.\n\
+         * **Precision-targeted (adaptive)**: each point samples the *same* seeded\n\
+           shot streams but stops at the smallest shot count with ≥ `--min-failures`\n\
+           failures and relative standard error ≤ `--target-rse`, capped by\n\
+           `--max-shots` (default 20 × the fixed budget). High-failure points stop\n\
+           orders of magnitude early; low-failure points sample deeper than the\n\
+           fixed budget, so precision *improves* where it was worst. `--full` runs\n\
+           are adaptive by default; `--fixed` (or `--target-rse 0`) pins the fixed\n\
+           path, which reproduces the pre-adaptive tables byte-for-byte.\n\n\
+         The `sweeps/<figure>.json` cache (schema 2) records the shots actually\n\
+         spent per point. A fixed-budget request reuses an entry only at the exact\n\
+         shot count; a precision-targeted request reuses any entry that\n\
+         meets-or-exceeds the requested precision (including fixed full-shot\n\
+         entries). Schema-1 files (no `schema` field) stay readable without\n\
+         migration — their per-point shot counts are what the reuse rules consult;\n\
+         files with a foreign seed or BP iteration count are invalidated wholesale.\n\n\
+         Regenerate with more sampling: `CYCLONE_SHOTS=20000 cargo bench -p bench \
+         --bench experiments_md` (or `-- --shots 20000`); add `--target-rse 0.05 \
+         --min-failures 400` for publication-grade uniform precision.\n\
+         `CYCLONE_FULL=1` extends every sweep to the full code catalog.\n",
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");

@@ -1,36 +1,107 @@
 //! Sweep-engine throughput: wall-clock of a multi-point figure sweep executed
 //! serially (one worker) vs across the point-level pool (`CYCLONE_THREADS`, default
-//! 4 here), plus points/sec. Each run overwrites `BENCH_sweep.json` at the repository
-//! root, so the file always holds the current commit's numbers.
+//! 4 here), plus adaptive-vs-fixed sampling cost per figure. Each run overwrites
+//! `BENCH_sweep.json` at the repository root, so the file always holds the current
+//! commit's numbers.
 //!
-//! The measured workload is the Fig. 5 latency×LER sweep shape (two HGP codes × six
-//! latency-division factors = 12 Monte-Carlo points). Points are embarrassingly
-//! parallel, so the speedup tracks the host's usable cores; the JSON records
-//! `host_cores` so a 1-core CI shard reporting ~1.0x is interpretable. Both runs must
-//! produce bit-identical estimates — this binary asserts it, making it a determinism
-//! check as well as a benchmark.
+//! Two figure-shaped workloads are measured: the Fig. 5 latency×LER sweep (two HGP
+//! codes × six latency-division factors) and the Fig. 14 LER-comparison sweep (two
+//! BB codes × the error-rate grid × {baseline, cyclone}). Points are embarrassingly
+//! parallel, so the pool speedup tracks the host's usable cores; the JSON records
+//! `host_cores` so a 1-core CI shard reporting ~1.0x is interpretable. Serial and
+//! threaded runs must produce bit-identical estimates — this binary asserts it,
+//! making it a determinism check as well as a benchmark.
+//!
+//! The adaptive comparison runs each workload twice at the same per-point cap: once
+//! with the fixed budget, once precision-targeted (target rse 0.1, ≥100 failures,
+//! `max_shots` = the fixed budget). Every adaptive point therefore ends either
+//! *bit-identical* to the fixed point (cap-bound low-LER points) or at the target
+//! precision with the surplus shots saved (high-LER points); the JSON records
+//! wall-clock and total shots spent for both modes, per figure.
 //!
 //! `CYCLONE_SHOTS` scales the per-point work (CI uses 50).
 
-use cyclone::experiments::fig5_spec;
-use cyclone::sweep::{run_sweep, SweepOptions, SweepResult};
-use decoder::memory::MemoryConfig;
+use cyclone::experiments::{fig5_spec, ler_comparison_spec};
+use cyclone::sweep::{run_sweep, ScenarioSpec, SweepOptions, SweepResult};
+use decoder::memory::{MemoryConfig, PrecisionTarget};
 use std::time::Instant;
 
 /// Latency division factors: six per code, so the pool has enough points to fill
 /// four workers.
 const SPEEDUPS: [f64; 6] = [1.0, 1.5, 2.0, 3.0, 4.0, 8.0];
 
-fn timed_run(spec: &cyclone::sweep::ScenarioSpec, threads: usize, shots: usize) -> (SweepResult, f64) {
-    let config = MemoryConfig {
+fn config(threads: usize, shots: usize) -> MemoryConfig {
+    MemoryConfig {
         shots,
         bp_iterations: 30,
         threads,
         seed: 0xC1C1_0DE5,
-    };
+    }
+}
+
+fn timed_run(spec: &ScenarioSpec, options: &SweepOptions) -> (SweepResult, f64) {
     let start = Instant::now();
-    let result = run_sweep(spec, &SweepOptions::ephemeral(config));
+    let result = run_sweep(spec, options);
     (result, start.elapsed().as_secs_f64())
+}
+
+/// One figure's adaptive-vs-fixed measurement, rendered as a JSON object literal.
+fn adaptive_vs_fixed(
+    figure: &str,
+    spec: &ScenarioSpec,
+    threads: usize,
+    shots: usize,
+) -> String {
+    let target = &PrecisionTarget::new(0.1, 100, shots);
+    let (fixed, fixed_seconds) = timed_run(spec, &SweepOptions::ephemeral(config(threads, shots)));
+    let (adaptive, adaptive_seconds) = timed_run(
+        spec,
+        &SweepOptions::ephemeral(config(threads, shots)).with_precision(*target),
+    );
+    let fixed_shots = fixed.total_shots();
+    let adaptive_shots = adaptive.total_shots();
+    // Sanity: with max_shots == the fixed budget, every adaptive point is either
+    // bit-identical to the fixed point (cap-bound) or stopped at the target — so
+    // every point's std_err is at-or-below max(fixed std_err, target_rse × ler).
+    let mut identical = 0usize;
+    let mut at_target = 0usize;
+    for (f, a) in fixed.points.iter().zip(&adaptive.points) {
+        if a.ler == f.ler {
+            identical += 1;
+        } else {
+            assert!(
+                target.met_by(a.ler.shots, a.ler.failures),
+                "early-stopped point {} missed the precision target",
+                a.id
+            );
+            at_target += 1;
+        }
+    }
+    let shots_saved = fixed_shots as f64 / adaptive_shots.max(1) as f64;
+    let speedup = fixed_seconds / adaptive_seconds.max(1e-12);
+    println!("  {figure} ({shots} shots/point cap): fixed {fixed_shots} shots / {fixed_seconds:.3} s, adaptive {adaptive_shots} shots / {adaptive_seconds:.3} s ({shots_saved:.1}x fewer shots, {speedup:.1}x wall-clock)");
+    println!("    {at_target} points stopped at target rse {}, {identical} cap-bound points bit-identical to fixed", target.target_rse);
+    format!(
+        "{{\n      \"figure\": \"{figure}\",\n      \"points\": {},\n      \
+         \"shots_per_point_cap\": {shots},\n      \
+         \"target_rse\": {},\n      \
+         \"min_failures\": {},\n      \
+         \"fixed_seconds\": {fixed_seconds:.4},\n      \
+         \"fixed_total_shots\": {fixed_shots},\n      \
+         \"fixed_max_rse\": {:.4},\n      \
+         \"adaptive_seconds\": {adaptive_seconds:.4},\n      \
+         \"adaptive_total_shots\": {adaptive_shots},\n      \
+         \"adaptive_max_rse\": {:.4},\n      \
+         \"points_at_target\": {at_target},\n      \
+         \"points_cap_bound_bit_identical\": {identical},\n      \
+         \"shots_saved_factor\": {shots_saved:.3},\n      \
+         \"wall_clock_speedup\": {speedup:.3}\n    }}",
+        spec.points.len(),
+        target.target_rse,
+        target.min_failures,
+        fixed.max_relative_std_err(),
+        adaptive.max_relative_std_err(),
+    )
 }
 
 fn main() {
@@ -49,10 +120,11 @@ fn main() {
     let points = spec.points.len();
 
     // Warm-up pass (decoder construction paths, page cache) — not timed.
-    let _ = timed_run(&spec, 1, shots.min(20));
+    let _ = timed_run(&spec, &SweepOptions::ephemeral(config(1, shots.min(20))));
 
-    let (serial, serial_seconds) = timed_run(&spec, 1, shots);
-    let (threaded, threaded_seconds) = timed_run(&spec, threaded_workers, shots);
+    let (serial, serial_seconds) = timed_run(&spec, &SweepOptions::ephemeral(config(1, shots)));
+    let (threaded, threaded_seconds) =
+        timed_run(&spec, &SweepOptions::ephemeral(config(threaded_workers, shots)));
 
     // The engine must be bit-identical at any pool size.
     for (a, b) in serial.points.iter().zip(&threaded.points) {
@@ -76,6 +148,25 @@ fn main() {
         println!("  (single-core host: point-level parallelism cannot show a wall-clock win here)");
     }
 
+    // Adaptive vs fixed, per figure, at the same per-point shot cap (so every
+    // adaptive point is either cap-bound bit-identical to fixed, or at target).
+    println!("adaptive vs fixed (target rse 0.1, >=100 failures, max_shots = fixed budget):");
+    let bb_codes = vec![
+        qec::codes::bb_72_12_6().expect("construction"),
+        qec::codes::bb_90_8_10().expect("construction"),
+    ];
+    let (fig14, _) = ler_comparison_spec("fig14_bb_ler", &bb_codes, &bench::error_rate_grid());
+    // Fig. 9 is the high-LER showcase (mesh junction latencies push the LER to
+    // 5e-3..0.25): at a full-shot budget (5x the engine workload above) its
+    // high-failure points stop orders of magnitude early.
+    let sens = bench::sensitivity_code();
+    let (fig9, _) = cyclone::experiments::fig9_spec(&sens, 5e-4, &[0.0, 0.3, 0.5, 0.7, 0.9]);
+    let figures = [
+        adaptive_vs_fixed("fig05_latency_vs_ler", &spec, threaded_workers, shots),
+        adaptive_vs_fixed("fig14_bb_ler", &fig14, threaded_workers, shots),
+        adaptive_vs_fixed("fig09_junction_sensitivity", &fig9, threaded_workers, 5 * shots),
+    ];
+
     let json = format!(
         "{{\n  \"sweep\": \"fig5_latency_vs_ler\",\n  \"points\": {points},\n  \
          \"shots_per_point\": {shots},\n  \
@@ -86,7 +177,13 @@ fn main() {
          \"serial_points_per_sec\": {serial_pps:.3},\n  \
          \"threaded_points_per_sec\": {threaded_pps:.3},\n  \
          \"speedup\": {speedup:.3},\n  \
-         \"bit_identical_across_pool_sizes\": true\n}}\n"
+         \"bit_identical_across_pool_sizes\": true,\n  \
+         \"adaptive_vs_fixed\": [{}\n  ]\n}}\n",
+        figures
+            .iter()
+            .map(|f| format!("\n    {f}"))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     std::fs::write(path, json).expect("write BENCH_sweep.json");

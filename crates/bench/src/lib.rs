@@ -19,6 +19,14 @@
 //!   text.
 //! * `CYCLONE_NO_CACHE` — set to `1` to bypass the `sweeps/<figure>.json` cache.
 //! * `CYCLONE_SWEEP_DIR` — cache directory (default `sweeps/` at the repo root).
+//! * `CYCLONE_TARGET_RSE` — relative-standard-error target: enables adaptive
+//!   (stop-at-precision) sampling; `0` explicitly disables it. `CYCLONE_FULL=1`
+//!   runs default to adaptive at 0.1.
+//! * `CYCLONE_MIN_FAILURES` — failure floor of the adaptive stop rule (default 100).
+//! * `CYCLONE_MAX_SHOTS` — per-point shot cap of adaptive runs (default
+//!   20 × `CYCLONE_SHOTS`).
+//! * `CYCLONE_FIXED` — set to `1` to force the fixed `CYCLONE_SHOTS` budget even
+//!   in `--full` runs (bit-identical to the pre-adaptive engine).
 
 pub mod runner;
 

@@ -10,24 +10,51 @@
 //!
 //! Flags can be passed after `--` with `cargo bench -p bench --bench figNN -- ...`:
 //!
-//! * `--shots N` — Monte-Carlo shots per LER point (`CYCLONE_SHOTS`).
+//! * `--shots N` — Monte-Carlo shots per LER point (`CYCLONE_SHOTS`); the fixed
+//!   budget, and the adaptive mode's reference for the default shot cap.
 //! * `--threads N` — point-level sweep pool size, 0 = auto (`CYCLONE_THREADS`).
-//! * `--full` — run the full code catalog (`CYCLONE_FULL=1`).
+//! * `--full` — run the full code catalog (`CYCLONE_FULL=1`). Full runs sample
+//!   **adaptively** by default (see below).
 //! * `--quick` — shorthand for `--shots 50`.
 //! * `--csv` — CSV output instead of an aligned table (`CYCLONE_CSV=1`).
 //! * `--no-cache` — bypass the sweep cache (`CYCLONE_NO_CACHE=1`).
 //! * `--cache-dir DIR` — cache directory (`CYCLONE_SWEEP_DIR`, default `sweeps/`
 //!   at the repository root).
 //!
+//! Adaptive (precision-targeted) sampling:
+//!
+//! * `--target-rse X` — stop each LER point at relative standard error ≤ X
+//!   (`CYCLONE_TARGET_RSE`). Setting it enables adaptive mode anywhere; `0`
+//!   disables it explicitly. Default when adaptive: 0.1.
+//! * `--min-failures N` — require ≥ N failures before stopping
+//!   (`CYCLONE_MIN_FAILURES`, default 100).
+//! * `--max-shots N` — per-point shot cap (`CYCLONE_MAX_SHOTS`; default
+//!   `20 × shots`, so low-LER points may sample *deeper* than the fixed budget).
+//! * `--fixed` — force the fixed `--shots` budget even with `--full`
+//!   (`CYCLONE_FIXED=1`); the resulting tables are bit-identical to the
+//!   pre-adaptive engine.
+//!
 //! Unknown flags (e.g. the `--bench` cargo appends) are ignored. Flags override the
 //! corresponding environment variables for the run.
 
 use crate::Table;
 use cyclone::sweep::SweepOptions;
-use decoder::memory::MemoryConfig;
+use decoder::memory::{MemoryConfig, PrecisionTarget};
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+
+/// Default relative-standard-error target of adaptive runs (`rse ≈ 1/√failures`,
+/// so this pairs naturally with [`DEFAULT_MIN_FAILURES`]).
+pub const DEFAULT_TARGET_RSE: f64 = 0.1;
+
+/// Default failure floor of adaptive runs (the classic stop-at-100-failures rule).
+pub const DEFAULT_MIN_FAILURES: usize = 100;
+
+/// Default per-point shot cap of adaptive runs, as a multiple of the fixed budget:
+/// high-LER points stop orders of magnitude earlier, low-LER points may go this
+/// much deeper to reach the target precision.
+pub const MAX_SHOTS_FACTOR: usize = 20;
 
 /// Everything a figure closure needs: the Monte-Carlo configuration and the sweep
 /// options (pool size + cache location) resolved from flags and environment.
@@ -35,7 +62,9 @@ use std::path::PathBuf;
 pub struct RunContext {
     /// Monte-Carlo configuration for LER points.
     pub config: MemoryConfig,
-    /// Sweep execution options (pass to the `*_with` experiment runners).
+    /// Sweep execution options (pass to the `*_with` experiment runners; carries
+    /// the resolved precision target in `sweep.precision` when adaptive mode is
+    /// active, `None` = fixed shot budget).
     pub sweep: SweepOptions,
     /// CSV output requested (`--csv` / `CYCLONE_CSV`).
     pub csv: bool,
@@ -52,16 +81,26 @@ impl RunContext {
 
     /// Resolves the context from explicit arguments (tests use this directly).
     pub fn from_args(args: &[String]) -> Self {
+        let env = |name: &str| std::env::var(name).ok();
         let mut shots = crate::shots();
         let mut threads = crate::threads();
-        let mut no_cache = crate::flag_from(std::env::var("CYCLONE_NO_CACHE").ok().as_deref());
-        let mut cache_dir = std::env::var("CYCLONE_SWEEP_DIR")
-            .ok()
+        let mut no_cache = crate::flag_from(env("CYCLONE_NO_CACHE").as_deref());
+        let mut cache_dir = env("CYCLONE_SWEEP_DIR")
             .filter(|s| !s.trim().is_empty())
             .map(PathBuf::from)
             .unwrap_or_else(default_sweep_dir);
         let mut csv = crate::csv_output();
         let mut full = crate::full_run();
+        // `Some(0.0)` is an explicit disable; `None` defers to the `--full`
+        // default. A malformed or non-finite value is treated as unset (the
+        // workspace's malformed-fallback convention), never as a disable — and a
+        // malformed *flag* value keeps whatever the environment resolved to.
+        let parse_rse = |s: &str| s.trim().parse::<f64>().ok().filter(|v| v.is_finite());
+        let parse_cap = |s: &str| s.trim().parse::<usize>().ok().filter(|&n| n > 0);
+        let mut target_rse: Option<f64> = env("CYCLONE_TARGET_RSE").as_deref().and_then(parse_rse);
+        let mut min_failures = crate::env_parse(env("CYCLONE_MIN_FAILURES").as_deref(), DEFAULT_MIN_FAILURES);
+        let mut max_shots: Option<usize> = env("CYCLONE_MAX_SHOTS").as_deref().and_then(parse_cap);
+        let mut fixed = crate::flag_from(env("CYCLONE_FIXED").as_deref());
 
         let mut i = 0;
         while i < args.len() {
@@ -88,6 +127,25 @@ impl RunContext {
                         i += 1;
                     }
                 }
+                "--target-rse" => {
+                    if let Some(value) = args.get(i + 1) {
+                        target_rse = parse_rse(value).or(target_rse);
+                        i += 1;
+                    }
+                }
+                "--min-failures" => {
+                    if let Some(value) = args.get(i + 1) {
+                        min_failures = crate::env_parse(Some(value), min_failures);
+                        i += 1;
+                    }
+                }
+                "--max-shots" => {
+                    if let Some(value) = args.get(i + 1) {
+                        max_shots = parse_cap(value).or(max_shots);
+                        i += 1;
+                    }
+                }
+                "--fixed" => fixed = true,
                 _ => {}
             }
             i += 1;
@@ -99,11 +157,29 @@ impl RunContext {
             threads,
             seed: 0xC1C1_0DE5,
         };
-        let sweep = if no_cache {
+        // Adaptive mode: explicitly requested via a positive --target-rse, or the
+        // --full default. --fixed (or --target-rse 0) pins the fixed-shot path,
+        // which is bit-identical to the pre-adaptive engine.
+        let precision = match (fixed, target_rse, full) {
+            (true, _, _) => None,
+            (false, Some(rse), _) if rse <= 0.0 => None,
+            (false, Some(rse), _) => Some(rse),
+            (false, None, true) => Some(DEFAULT_TARGET_RSE),
+            (false, None, false) => None,
+        }
+        .map(|rse| PrecisionTarget {
+            target_rse: rse,
+            min_failures,
+            max_shots: max_shots.unwrap_or_else(|| shots.saturating_mul(MAX_SHOTS_FACTOR)),
+        });
+        let mut sweep = if no_cache {
             SweepOptions::ephemeral(config)
         } else {
             SweepOptions::cached(config, cache_dir)
         };
+        if let Some(target) = precision {
+            sweep = sweep.with_precision(target);
+        }
         RunContext { config, sweep, csv, full }
     }
 
@@ -169,6 +245,12 @@ pub fn figure<R: Into<FigureReport>>(
     context.export_env();
     let report: FigureReport = build(&context).into();
     report.table.print(title);
+    if let Some(target) = &context.sweep.precision {
+        println!(
+            "(adaptive sampling: target rse {}, >={} failures, <={} shots/point)",
+            target.target_rse, target.min_failures, target.max_shots
+        );
+    }
     for note in &report.notes {
         println!("\n{note}");
     }
@@ -246,5 +328,74 @@ mod tests {
         assert_eq!(ctx.config.shots, crate::DEFAULT_SHOTS);
         let ctx = RunContext::from_args(&args(&["--threads", "x"]));
         assert_eq!(ctx.config.threads, crate::AUTO_THREADS);
+    }
+
+    #[test]
+    fn default_runs_stay_on_the_fixed_path() {
+        // No adaptive flags, no --full → precision target absent, so sweeps are
+        // bit-identical to the pre-adaptive engine.
+        let ctx = RunContext::from_args(&args(&["--shots", "200"]));
+        assert!(ctx.sweep.precision.is_none());
+    }
+
+    #[test]
+    fn malformed_target_rse_defers_to_the_mode_default() {
+        // A typo'd value is "unset", never an accidental disable: with --full the
+        // adaptive default still applies, without it the run stays fixed.
+        let ctx = RunContext::from_args(&args(&["--full", "--target-rse", "O.1"]));
+        let target = ctx.sweep.precision.expect("malformed value must not disable --full adaptive");
+        assert_eq!(target.target_rse, DEFAULT_TARGET_RSE);
+        let ctx = RunContext::from_args(&args(&["--target-rse", "abc"]));
+        assert!(ctx.sweep.precision.is_none());
+        // Non-finite values are malformed too: NaN must not slip past the
+        // disable guard into a stop rule that can never fire.
+        let ctx = RunContext::from_args(&args(&["--full", "--target-rse", "nan"]));
+        assert_eq!(ctx.sweep.precision.map(|t| t.target_rse), Some(DEFAULT_TARGET_RSE));
+        let ctx = RunContext::from_args(&args(&["--target-rse", "inf"]));
+        assert!(ctx.sweep.precision.is_none());
+    }
+
+    #[test]
+    fn malformed_adaptive_flag_values_keep_earlier_settings() {
+        // A malformed --min-failures/--max-shots value falls back to whatever was
+        // already resolved (the documented env→flag override never *discards* a
+        // valid env setting on a typo'd flag).
+        let ctx = RunContext::from_args(&args(&[
+            "--shots", "400", "--target-rse", "0.2", "--min-failures", "4OO", "--max-shots", "x",
+        ]));
+        let target = ctx.sweep.precision.expect("adaptive");
+        assert_eq!(target.min_failures, DEFAULT_MIN_FAILURES);
+        assert_eq!(target.max_shots, 400 * MAX_SHOTS_FACTOR);
+    }
+
+    #[test]
+    fn full_runs_sample_adaptively_by_default() {
+        let ctx = RunContext::from_args(&args(&["--shots", "1000", "--full"]));
+        let target = ctx.sweep.precision.expect("--full enables adaptive sampling");
+        assert_eq!(target.target_rse, DEFAULT_TARGET_RSE);
+        assert_eq!(target.min_failures, DEFAULT_MIN_FAILURES);
+        assert_eq!(target.max_shots, 1000 * MAX_SHOTS_FACTOR);
+        assert_eq!(ctx.sweep.precision, Some(target));
+    }
+
+    #[test]
+    fn fixed_flag_pins_the_fixed_path_even_in_full_mode() {
+        let ctx = RunContext::from_args(&args(&["--full", "--fixed"]));
+        assert!(ctx.full);
+        assert!(ctx.sweep.precision.is_none(), "--fixed must win over the --full default");
+        // --target-rse 0 is the explicit-disable spelling of the same thing.
+        let ctx = RunContext::from_args(&args(&["--full", "--target-rse", "0"]));
+        assert!(ctx.sweep.precision.is_none());
+    }
+
+    #[test]
+    fn adaptive_flags_resolve_a_precision_target() {
+        let ctx = RunContext::from_args(&args(&[
+            "--shots", "400", "--target-rse", "0.25", "--min-failures", "30", "--max-shots", "9000",
+        ]));
+        let target = ctx.sweep.precision.expect("--target-rse enables adaptive sampling");
+        assert_eq!(target.target_rse, 0.25);
+        assert_eq!(target.min_failures, 30);
+        assert_eq!(target.max_shots, 9000);
     }
 }

@@ -16,13 +16,29 @@
 //!   re-runs: a point is recomputed only when its id, operating point, or Monte-Carlo
 //!   configuration changed, so quick-mode CI runs and full-shot local runs compose
 //!   without poisoning each other (a corrupt or missing cache file simply falls back
-//!   to recomputation).
+//!   to recomputation). Cache files are written atomically (temp file + rename in
+//!   the same directory), so a crash or two figure binaries sharing a cache
+//!   directory can never leave or observe a torn file;
+//! * optionally samples **adaptively**: a [`PrecisionTarget`] on the options (or on
+//!   an individual point) stops each point at a target relative standard error /
+//!   failure count instead of a fixed shot budget, and the cache records the shots
+//!   actually spent so a cached point is reused whenever it meets-or-exceeds the
+//!   requested precision (cache schema 2; schema-1 fixed-shot files stay readable).
 
-use decoder::memory::{estimate_points, LerEstimate, LerPoint, MemoryConfig};
+use decoder::memory::{
+    estimate_points_adaptive, LerEstimate, LerPoint, MemoryConfig, PrecisionTarget,
+};
 use qec::CssCode;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version tag written to cache files. Schema 2 added the `mode` header and
+/// meets-or-exceeds reuse of per-entry shot counts; schema-1 files (no `schema`
+/// field) are still readable — their entries carry per-point `shots`/`failures`
+/// already, which is all the reuse rules consult.
+const CACHE_SCHEMA: u64 = 2;
 
 /// One Monte-Carlo operating point of a scenario sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +52,10 @@ pub struct OperatingPoint {
     pub p: f64,
     /// Round latency in seconds.
     pub latency: f64,
+    /// Per-point precision override: `Some` samples this point adaptively with its
+    /// own target, `None` defers to [`SweepOptions::precision`] (and to the fixed
+    /// shot budget when that is `None` too).
+    pub precision: Option<PrecisionTarget>,
 }
 
 /// A declarative scenario sweep: the codes of one figure and every operating point
@@ -66,19 +86,46 @@ impl ScenarioSpec {
         self.codes.len() - 1
     }
 
-    /// Adds one operating point.
+    /// Adds one operating point (sampled per [`SweepOptions::precision`]).
     ///
     /// # Panics
     ///
     /// Panics if `code` is out of range or the id duplicates an earlier point's.
     pub fn point(&mut self, id: impl Into<String>, code: usize, p: f64, latency: f64) -> &mut Self {
-        let id = id.into();
+        self.push_point(id.into(), code, p, latency, None)
+    }
+
+    /// Adds one operating point with its own [`PrecisionTarget`], overriding the
+    /// sweep-level default for just this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range or the id duplicates an earlier point's.
+    pub fn point_precise(
+        &mut self,
+        id: impl Into<String>,
+        code: usize,
+        p: f64,
+        latency: f64,
+        target: PrecisionTarget,
+    ) -> &mut Self {
+        self.push_point(id.into(), code, p, latency, Some(target))
+    }
+
+    fn push_point(
+        &mut self,
+        id: String,
+        code: usize,
+        p: f64,
+        latency: f64,
+        precision: Option<PrecisionTarget>,
+    ) -> &mut Self {
         assert!(code < self.codes.len(), "code index {code} out of range");
         assert!(
             self.points.iter().all(|pt| pt.id != id),
             "duplicate point id `{id}`"
         );
-        self.points.push(OperatingPoint { id, code, p, latency });
+        self.points.push(OperatingPoint { id, code, p, latency, precision });
         self
     }
 }
@@ -88,9 +135,15 @@ impl ScenarioSpec {
 pub struct SweepOptions {
     /// Monte-Carlo configuration applied to every point (`threads` sizes the
     /// point-level worker pool; the estimate itself is thread-count invariant).
+    /// `config.shots` is the fixed budget of points without a precision target.
     pub config: MemoryConfig,
     /// Cache directory (`sweeps/` by convention). `None` disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Default precision target: `Some` switches every point (without its own
+    /// [`OperatingPoint::precision`] override) to adaptive stop-at-precision
+    /// sampling; `None` keeps the fixed `config.shots` budget, bit-identical to the
+    /// engine before adaptive sampling existed.
+    pub precision: Option<PrecisionTarget>,
 }
 
 impl SweepOptions {
@@ -100,6 +153,7 @@ impl SweepOptions {
         SweepOptions {
             config,
             cache_dir: None,
+            precision: None,
         }
     }
 
@@ -108,7 +162,21 @@ impl SweepOptions {
         SweepOptions {
             config,
             cache_dir: Some(dir.into()),
+            precision: None,
         }
+    }
+
+    /// Switches the sweep to adaptive sampling with `target` as the default
+    /// per-point precision (builder style).
+    pub fn with_precision(mut self, target: PrecisionTarget) -> Self {
+        self.precision = Some(target);
+        self
+    }
+
+    /// The effective sampling target of one spec point (its override, else the
+    /// sweep default; `None` = fixed shot budget).
+    fn target_for(&self, point: &OperatingPoint) -> Option<PrecisionTarget> {
+        point.precision.or(self.precision)
     }
 }
 
@@ -145,6 +213,22 @@ impl SweepResult {
     pub fn estimates(&self) -> Vec<LerEstimate> {
         self.points.iter().map(|p| p.ler).collect()
     }
+
+    /// Total Monte-Carlo shots recorded across all points (cached and computed) —
+    /// the cost metric adaptive sampling optimizes.
+    pub fn total_shots(&self) -> usize {
+        self.points.iter().map(|p| p.ler.shots).sum()
+    }
+
+    /// The largest relative standard error across all points ([`f64::INFINITY`]
+    /// when any point has no positive estimate) — the precision metric adaptive
+    /// sampling equalizes.
+    pub fn max_relative_std_err(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.ler.relative_std_err())
+            .fold(0.0, f64::max)
+    }
 }
 
 /// Executes a scenario sweep: cache lookup, parallel estimation of the misses at
@@ -171,7 +255,7 @@ pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
         .map(|dir| dir.join(format!("{}.json", spec.figure)));
     let cached = cache_path
         .as_deref()
-        .map(|path| load_cache(path, spec, &options.config))
+        .map(|path| load_cache(path, spec, options))
         .unwrap_or_default();
 
     // Estimate the misses across the shared pool, then stitch hits and misses back
@@ -190,7 +274,11 @@ pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
             }
         })
         .collect();
-    let fresh = estimate_points(&jobs, &options.config);
+    let targets: Vec<Option<PrecisionTarget>> = misses
+        .iter()
+        .map(|&i| options.target_for(&spec.points[i]))
+        .collect();
+    let fresh = estimate_points_adaptive(&jobs, &targets, &options.config);
 
     let mut fresh_by_index: BTreeMap<usize, LerEstimate> = BTreeMap::new();
     for (&i, est) in misses.iter().zip(fresh) {
@@ -227,7 +315,7 @@ pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
     };
 
     if let Some(path) = cache_path.as_deref() {
-        if let Err(err) = store_cache(path, spec, &options.config, &result) {
+        if let Err(err) = store_cache(path, spec, options, &result) {
             eprintln!(
                 "warning: could not write sweep cache {}: {err}",
                 path.display()
@@ -240,7 +328,19 @@ pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
 /// Loads reusable per-point estimates from a cache file. Any structural problem —
 /// missing file, malformed JSON, wrong figure, changed Monte-Carlo configuration —
 /// yields an empty map, i.e. full recomputation.
-fn load_cache(path: &Path, spec: &ScenarioSpec, config: &MemoryConfig) -> BTreeMap<String, LerEstimate> {
+///
+/// Reuse is decided per entry against the *requested* sampling mode of its spec
+/// point: a fixed-budget point requires the exact `config.shots` count (the
+/// pre-adaptive rule, so schema-1 files keep hitting), while a precision-targeted
+/// point reuses any entry that meets-or-exceeds the requested precision — whether
+/// it was produced by an adaptive run, a bigger adaptive cap, or a fixed full-shot
+/// run.
+fn load_cache(
+    path: &Path,
+    spec: &ScenarioSpec,
+    options: &SweepOptions,
+) -> BTreeMap<String, LerEstimate> {
+    let config = &options.config;
     let Ok(text) = std::fs::read_to_string(path) else {
         return BTreeMap::new();
     };
@@ -248,10 +348,11 @@ fn load_cache(path: &Path, spec: &ScenarioSpec, config: &MemoryConfig) -> BTreeM
         return BTreeMap::new();
     };
     // The u64 seed is stored as a decimal string — the shim's JSON numbers are
-    // f64, which would silently round seeds above 2^53.
+    // f64, which would silently round seeds above 2^53. The header `shots` field is
+    // informational only since schema 2: the per-entry shot counts are what the
+    // reuse rules consult.
     if doc.get("figure").and_then(Value::as_str) != Some(spec.figure.as_str())
         || doc.get("seed").and_then(Value::as_str) != Some(config.seed.to_string().as_str())
-        || doc.get("shots").and_then(Value::as_u64) != Some(config.shots as u64)
         || doc.get("bp_iterations").and_then(Value::as_u64) != Some(config.bp_iterations as u64)
     {
         return BTreeMap::new();
@@ -278,32 +379,48 @@ fn load_cache(path: &Path, spec: &ScenarioSpec, config: &MemoryConfig) -> BTreeM
         ) else {
             continue;
         };
-        if p == point.p && latency == point.latency && shots == config.shots as u64 && shots > 0 {
-            reusable.insert(
-                id.to_string(),
-                LerEstimate::from_counts(shots as usize, failures as usize),
-            );
+        if p != point.p || latency != point.latency || shots == 0 {
+            continue;
+        }
+        let (shots, failures) = (shots as usize, failures as usize);
+        let reuse = match options.target_for(point) {
+            // Fixed budget: the exact shot count, as before adaptive sampling.
+            None => shots == config.shots,
+            // Precision target: anything at least as precise as requested — the
+            // stop rule itself, or a run that already spent the full cap.
+            Some(target) => target.met_by(shots, failures) || shots >= target.max_shots,
+        };
+        if reuse && failures <= shots {
+            reusable.insert(id.to_string(), LerEstimate::from_counts(shots, failures));
         }
     }
     reusable
 }
 
 /// Serializes a sweep result (plus the configuration that produced it) as the
-/// figure's cache file.
+/// figure's cache file, atomically.
 fn store_cache(
     path: &Path,
     spec: &ScenarioSpec,
-    config: &MemoryConfig,
+    options: &SweepOptions,
     result: &SweepResult,
 ) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
+    let config = &options.config;
     let mut root = BTreeMap::new();
+    root.insert("schema".to_string(), Value::from(CACHE_SCHEMA as usize));
     root.insert("figure".to_string(), Value::from(spec.figure.clone()));
     root.insert("seed".to_string(), Value::from(config.seed.to_string()));
     root.insert("shots".to_string(), Value::from(config.shots));
     root.insert("bp_iterations".to_string(), Value::from(config.bp_iterations));
+    root.insert(
+        "mode".to_string(),
+        Value::from(if options.precision.is_some() { "adaptive" } else { "fixed" }),
+    );
+    if let Some(target) = &options.precision {
+        root.insert("target_rse".to_string(), Value::Number(target.target_rse));
+        root.insert("min_failures".to_string(), Value::from(target.min_failures));
+        root.insert("max_shots".to_string(), Value::from(target.max_shots));
+    }
     let entries: Vec<Value> = result
         .points
         .iter()
@@ -312,6 +429,8 @@ fn store_cache(
             entry.insert("id".to_string(), Value::from(point.id.clone()));
             entry.insert("p".to_string(), Value::Number(point.p));
             entry.insert("latency".to_string(), Value::Number(point.latency));
+            // `shots` records what was actually spent on the point (which varies
+            // per point under adaptive sampling), never the configured budget.
             entry.insert("shots".to_string(), Value::from(point.ler.shots));
             entry.insert("failures".to_string(), Value::from(point.ler.failures));
             entry.insert("ler".to_string(), Value::Number(point.ler.ler));
@@ -322,7 +441,39 @@ fn store_cache(
     root.insert("points".to_string(), Value::Array(entries));
     let mut text = serde_json::to_string(&Value::Object(root));
     text.push('\n');
-    std::fs::write(path, text)
+    atomic_write(path, &text)
+}
+
+/// Writes `text` to `path` atomically: the bytes land in a uniquely named temp file
+/// in the same directory (same filesystem, so the rename cannot degrade to a
+/// copy), which is then renamed over the destination. A crash mid-write leaves at
+/// worst a stray temp file; concurrent writers sharing one cache directory each
+/// publish a complete file, and readers only ever observe one of the complete
+/// versions — never a torn mix.
+fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
+    static TEMP_NONCE: AtomicU64 = AtomicU64::new(0);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(parent) = dir {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp_name = format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_NONCE.fetch_add(1, Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(parent) => parent.join(&tmp_name),
+        None => PathBuf::from(&tmp_name),
+    };
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]

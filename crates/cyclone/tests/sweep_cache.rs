@@ -1,9 +1,10 @@
 //! Sweep-engine behavior: determinism across pool sizes, cache hit/miss/corruption
-//! semantics, and the `covers_all_gates` invariant for every registered codesign.
+//! semantics (fixed and adaptive), torn-write resistance of the cache file, and the
+//! `covers_all_gates` invariant for every registered codesign.
 
 use cyclone::standard_registry;
 use cyclone::sweep::{run_sweep, ScenarioSpec, SweepOptions};
-use decoder::memory::MemoryConfig;
+use decoder::memory::{MemoryConfig, PrecisionTarget};
 use std::path::PathBuf;
 
 fn quick_config(threads: usize) -> MemoryConfig {
@@ -153,6 +154,209 @@ fn missing_cache_dir_is_created() {
     assert_eq!(result.computed, 4);
     assert!(dir.join("mkdir.json").is_file());
     let _ = std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap());
+}
+
+/// A one-code spec whose points fail often (high p), so loose precision targets
+/// stop well before the cap and the adaptive tests stay fast.
+fn noisy_spec(figure: &str) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(figure);
+    let bb = spec.code(qec::codes::bb_72_12_6().expect("valid"));
+    spec.point("bb/p=4e-2", bb, 4e-2, 0.0);
+    spec.point("bb/p=6e-2", bb, 6e-2, 0.0);
+    spec
+}
+
+fn loose_target() -> PrecisionTarget {
+    PrecisionTarget::new(0.4, 6, 2_000)
+}
+
+#[test]
+fn adaptive_sweep_is_deterministic_across_pool_sizes_and_matches_direct_runs() {
+    let spec = noisy_spec("adaptive-det");
+    let target = loose_target();
+    let one = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(1)).with_precision(target));
+    let four = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(4)).with_precision(target));
+    for (a, b) in one.points.iter().zip(&four.points) {
+        assert_eq!(a.ler, b.ler, "adaptive point {} diverged across pool sizes", a.id);
+        assert!(a.ler.shots < 2_000, "high-failure point {} should stop early", a.id);
+        assert!(target.met_by(a.ler.shots, a.ler.failures));
+    }
+    // Each adaptive estimate is the fixed estimate of its own shot count (the
+    // stop rule chooses the budget, never the sample).
+    for (point, outcome) in spec.points.iter().zip(&one.points) {
+        let fixed = decoder::memory::logical_error_rate(
+            &spec.codes[point.code],
+            point.p,
+            point.latency,
+            &MemoryConfig { shots: outcome.ler.shots, ..quick_config(1) },
+        );
+        assert_eq!(outcome.ler, fixed, "{} is not a prefix of the fixed path", point.id);
+    }
+}
+
+#[test]
+fn disabled_precision_pins_the_fixed_path_bit_identically() {
+    // With no precision target the engine must reproduce exactly what the
+    // pre-adaptive fixed-budget engine produced (same shots, same failures, same
+    // floats) — the regression pin for `--target-rse`-disabled runs.
+    let spec = tiny_spec("fixed-pin");
+    let config = quick_config(2);
+    let result = run_sweep(&spec, &SweepOptions::ephemeral(config));
+    for (point, outcome) in spec.points.iter().zip(&result.points) {
+        let direct = decoder::memory::logical_error_rate(
+            &spec.codes[point.code],
+            point.p,
+            point.latency,
+            &config,
+        );
+        assert_eq!(outcome.ler, direct, "point {} diverged from the fixed path", point.id);
+        assert_eq!(outcome.ler.shots, config.shots);
+    }
+}
+
+#[test]
+fn adaptive_request_reuses_sufficiently_precise_cache_entries() {
+    let dir = scratch_dir("adaptive-reuse");
+    let spec = noisy_spec("adaptive-reuse");
+    let target = loose_target();
+
+    // An adaptive run populates the cache with per-point spent shots...
+    let adaptive = SweepOptions::cached(quick_config(2), &dir).with_precision(target);
+    let first = run_sweep(&spec, &adaptive);
+    assert_eq!(first.computed, 2);
+
+    // ... which a second adaptive run reuses wholesale ...
+    let second = run_sweep(&spec, &adaptive);
+    assert_eq!(second.cache_hits, 2, "meets-or-exceeds entries must be reused");
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.ler, b.ler);
+    }
+
+    // ... and a *looser* target is also satisfied by the same entries.
+    let looser = SweepOptions::cached(quick_config(2), &dir)
+        .with_precision(PrecisionTarget::new(0.6, 3, 2_000));
+    assert_eq!(run_sweep(&spec, &looser).cache_hits, 2);
+
+    // A tighter target is not: every point recomputes.
+    let tighter = SweepOptions::cached(quick_config(2), &dir)
+        .with_precision(PrecisionTarget::new(0.05, 400, 4_000));
+    let retightened = run_sweep(&spec, &tighter);
+    assert_eq!(retightened.cache_hits, 0, "looser cached points must not satisfy a tighter target");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fixed_full_shot_cache_serves_adaptive_requests_but_not_vice_versa() {
+    let dir = scratch_dir("adaptive-cross");
+    let spec = noisy_spec("adaptive-cross");
+    let config = MemoryConfig { shots: 400, ..quick_config(2) };
+
+    // A fixed 400-shot run at p=4e-2 sees ~30+ failures — precise enough for the
+    // loose target, so the adaptive request is served from the fixed cache.
+    let fixed_run = run_sweep(&spec, &SweepOptions::cached(config, &dir));
+    assert!(fixed_run.points.iter().all(|p| p.ler.failures >= 6));
+    let adaptive = SweepOptions::cached(config, &dir).with_precision(loose_target());
+    let served = run_sweep(&spec, &adaptive);
+    assert_eq!(served.cache_hits, 2, "full-shot entries meet the target and must be reused");
+    for (a, b) in fixed_run.points.iter().zip(&served.points) {
+        assert_eq!(a.ler, b.ler);
+    }
+
+    // The adaptive rewrite records the (still 400-shot) entries; a fixed request
+    // with a different budget must recompute rather than accept them.
+    let other_budget = run_sweep(
+        &spec,
+        &SweepOptions::cached(MemoryConfig { shots: 90, ..config }, &dir),
+    );
+    assert_eq!(other_budget.cache_hits, 0, "fixed requests require the exact budget");
+    assert!(other_budget.points.iter().all(|p| p.ler.shots == 90));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn per_point_precision_overrides_the_sweep_default() {
+    let mut spec = ScenarioSpec::new("per-point");
+    let bb = spec.code(qec::codes::bb_72_12_6().expect("valid"));
+    spec.point("fixed", bb, 4e-2, 0.0);
+    spec.point_precise("adaptive", bb, 4e-2, 0.0, loose_target());
+    let config = quick_config(2);
+    let result = run_sweep(&spec, &SweepOptions::ephemeral(config));
+    assert_eq!(result.points[0].ler.shots, config.shots, "unannotated point stays fixed");
+    assert_ne!(result.points[1].ler.shots, config.shots, "annotated point samples adaptively");
+    assert!(loose_target().met_by(result.points[1].ler.shots, result.points[1].ler.failures));
+}
+
+#[test]
+fn zero_shot_sweep_produces_empty_estimates_not_phantoms() {
+    // Regression companion to the decoder-level fix: a zero-shot sweep must not
+    // fabricate 1-shot estimates, and its cache entries must never be reused.
+    let dir = scratch_dir("zeroshot");
+    let spec = tiny_spec("zeroshot");
+    let options = SweepOptions::cached(MemoryConfig { shots: 0, ..quick_config(2) }, &dir);
+    let result = run_sweep(&spec, &options);
+    assert!(result.points.iter().all(|p| p.ler.is_empty()));
+    assert!(result.points.iter().all(|p| !p.ler.is_upper_bound()));
+    let again = run_sweep(&spec, &options);
+    assert_eq!(again.cache_hits, 0, "zero-shot entries must never be served from cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_never_tear_the_cache_file() {
+    // Two sweeps with different Monte-Carlo configurations race on one cache file
+    // while readers continuously parse it: with atomic temp-file + rename writes,
+    // every observed snapshot is one writer's complete document.
+    let dir = scratch_dir("torn");
+    let path = dir.join("torn.json");
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let writer = |seed: u64| {
+        let spec = {
+            let mut spec = ScenarioSpec::new("torn");
+            let bb = spec.code(qec::codes::bb_72_12_6().expect("valid"));
+            spec.point("a", bb, 5e-2, 0.0);
+            spec
+        };
+        let options = SweepOptions::cached(
+            MemoryConfig { shots: 4, seed, threads: 1, ..quick_config(1) },
+            &dir,
+        );
+        for _ in 0..12 {
+            run_sweep(&spec, &options);
+        }
+    };
+    std::thread::scope(|scope| {
+        let handles = [scope.spawn(|| writer(1)), scope.spawn(|| writer(2))];
+        let reader = scope.spawn(|| {
+            let mut observed = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    assert!(
+                        serde_json::from_str(&text).is_ok(),
+                        "torn cache file observed ({} bytes): {text:?}",
+                        text.len()
+                    );
+                    observed += 1;
+                }
+                std::thread::yield_now();
+            }
+            observed
+        });
+        for handle in handles {
+            handle.join().expect("writer");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let observed = reader.join().expect("reader");
+        assert!(observed > 0, "reader must have observed the cache file at least once");
+    });
+    // No stray temp files: every write either published or cleaned up.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "stray temp files left behind: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -18,7 +18,7 @@ use qec::CssCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// An estimated logical error rate with sampling statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,12 +35,12 @@ pub struct LerEstimate {
 }
 
 impl LerEstimate {
-    /// Builds the estimate from raw counts (the only constructor, so a cached
+    /// Builds the estimate from raw counts (the counting constructor, so a cached
     /// `(shots, failures)` pair round-trips to a bit-identical estimate).
     ///
     /// # Panics
     ///
-    /// Panics if `shots` is zero.
+    /// Panics if `shots` is zero (use [`LerEstimate::empty`] for a no-data estimate).
     pub fn from_counts(shots: usize, failures: usize) -> Self {
         assert!(shots > 0, "need at least one shot");
         let raw = failures as f64 / shots as f64;
@@ -56,9 +56,91 @@ impl LerEstimate {
         }
     }
 
-    /// Whether no failure was observed (the estimate is an upper-bound floor).
+    /// The explicit no-data estimate a zero-shot configuration produces: zero shots,
+    /// zero failures, `ler` and `std_err` both 0.0 (never NaN), and neither an
+    /// upper bound nor a real measurement.
+    ///
+    /// Regression guard: `shots == 0` used to fabricate a phantom 1-shot
+    /// zero-failure estimate with a misleading 0.5 LER floor.
+    pub const fn empty() -> Self {
+        LerEstimate {
+            shots: 0,
+            failures: 0,
+            ler: 0.0,
+            std_err: 0.0,
+        }
+    }
+
+    /// Whether this estimate carries no data at all (zero shots).
+    pub fn is_empty(&self) -> bool {
+        self.shots == 0
+    }
+
+    /// Whether shots were taken but no failure was observed (the estimate is an
+    /// upper-bound floor). An [empty](LerEstimate::is_empty) estimate is *not* an
+    /// upper bound — it is no measurement at all.
     pub fn is_upper_bound(&self) -> bool {
-        self.failures == 0
+        self.shots > 0 && self.failures == 0
+    }
+
+    /// The relative standard error `std_err / ler` ([`f64::INFINITY`] when there is
+    /// no positive point estimate to normalize by, never NaN).
+    pub fn relative_std_err(&self) -> f64 {
+        if self.ler > 0.0 {
+            self.std_err / self.ler
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// A precision target for adaptive (stop-at-precision) Monte-Carlo sampling.
+///
+/// A point stops at the smallest shot count at which it has seen at least
+/// `min_failures` failures **and** its [relative standard
+/// error](LerEstimate::relative_std_err) is at or below `target_rse`, capped by
+/// `max_shots`. Requiring both keeps the stop rule honest: the failure-count floor
+/// guards against stopping on a noisy early `std_err` estimate, and the relative
+/// standard error is the actual precision knob (`rse ≈ 1/√failures` for rare
+/// failures, so `min_failures = 100` alone already means `rse ≈ 0.1`).
+///
+/// The stopping decision is evaluated on shot *prefixes* of the same seeded
+/// per-shot RNG streams the fixed-budget path uses, so the adaptive result is the
+/// fixed result of its own shot count: bit-identical at any worker count and any
+/// execution batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrecisionTarget {
+    /// Stop once the relative standard error (`std_err / ler`) is at or below this
+    /// (`0.0` never stops early: sample to `max_shots`).
+    pub target_rse: f64,
+    /// ... and at least this many failures were observed (a floor of 1 is always
+    /// applied, so the rse check never runs on a floored zero-failure estimate).
+    pub min_failures: usize,
+    /// Hard cap on the number of shots spent on one point.
+    pub max_shots: usize,
+}
+
+impl PrecisionTarget {
+    /// A target with the given relative-standard-error goal, failure floor, and
+    /// shot cap.
+    pub fn new(target_rse: f64, min_failures: usize, max_shots: usize) -> Self {
+        PrecisionTarget {
+            target_rse,
+            min_failures,
+            max_shots,
+        }
+    }
+
+    /// Whether a `(shots, failures)` pair meets this target (the stop rule, also
+    /// used by the sweep cache to decide whether a cached point may be reused for a
+    /// precision-targeted request). The `max_shots` cap is deliberately not
+    /// consulted here: this is the *precision* criterion alone.
+    pub fn met_by(&self, shots: usize, failures: usize) -> bool {
+        if shots == 0 || failures < self.min_failures.max(1) {
+            return false;
+        }
+        let est = LerEstimate::from_counts(shots, failures);
+        est.std_err <= self.target_rse * est.ler
     }
 }
 
@@ -226,6 +308,11 @@ impl<'a> MemoryExperiment<'a> {
     /// counter purely for load balancing). Every worker owns one [`ShotScratch`], so
     /// sampling allocates only at worker startup, never per shot.
     pub fn run(&self, config: &MemoryConfig) -> LerEstimate {
+        // A zero-shot configuration yields the explicit empty estimate instead of
+        // fabricating a phantom 1-shot zero-failure floor.
+        if config.shots == 0 {
+            return LerEstimate::empty();
+        }
         let workers = config.worker_count().max(1);
         let shots = config.shots;
         let failures = AtomicUsize::new(0);
@@ -249,9 +336,111 @@ impl<'a> MemoryExperiment<'a> {
                 });
             }
         });
-        LerEstimate::from_counts(shots.max(1), failures.load(Ordering::Relaxed))
+        LerEstimate::from_counts(shots, failures.load(Ordering::Relaxed))
+    }
+
+    /// Runs an adaptive (stop-at-precision) Monte-Carlo experiment with the default
+    /// execution batch size ([`ADAPTIVE_BATCH`]).
+    ///
+    /// Shots use exactly the per-shot RNG streams of [`MemoryExperiment::run`]
+    /// (derived from [`MemoryConfig::seed`]), and the run stops at the smallest shot
+    /// count meeting `target` (see [`PrecisionTarget`]), capped by
+    /// `target.max_shots`. The returned estimate is therefore bit-identical to a
+    /// fixed-budget [`run`](MemoryExperiment::run) of the same shot count — the
+    /// adaptive path only *chooses* the budget, it never changes the sample.
+    /// `config.shots` is ignored; `config.threads` parallelizes within each batch.
+    pub fn run_adaptive(&self, config: &MemoryConfig, target: &PrecisionTarget) -> LerEstimate {
+        self.run_adaptive_batched(config, target, ADAPTIVE_BATCH)
+    }
+
+    /// [`run_adaptive`](MemoryExperiment::run_adaptive) with an explicit initial
+    /// execution batch size.
+    ///
+    /// Batching only controls how many shots are sampled between stop-rule
+    /// evaluations — the stopping decision is made on per-shot prefixes of the
+    /// batch, so the result is bit-identical for every `batch` and every
+    /// `config.threads` setting. Batches grow geometrically (doubling up to
+    /// [`ADAPTIVE_BATCH_CAP`]) so a cap-bound point pays O(log) batch handoffs
+    /// instead of one per `batch` shots.
+    pub fn run_adaptive_batched(
+        &self,
+        config: &MemoryConfig,
+        target: &PrecisionTarget,
+        batch: usize,
+    ) -> LerEstimate {
+        let max_shots = target.max_shots;
+        if max_shots == 0 {
+            return LerEstimate::empty();
+        }
+        let mut batch = batch.max(1);
+        let workers = config.worker_count().max(1);
+        let mut done = 0usize;
+        let mut failures = 0usize;
+        let mut scratch = ShotScratch::new();
+        let mut flags: Vec<AtomicBool> = Vec::new();
+        while done < max_shots {
+            let n = batch.min(max_shots - done);
+            batch = batch.saturating_mul(2).min(ADAPTIVE_BATCH_CAP);
+            if workers == 1 {
+                // Single-worker fast path: evaluate the stop rule after every shot
+                // (equivalent to the batched scan below, without the flag buffer).
+                for k in 0..n {
+                    let mut rng = StdRng::seed_from_u64(config.shot_seed(done + k));
+                    if self.sample_one_with(&mut rng, &mut scratch) {
+                        failures += 1;
+                    }
+                    if target.met_by(done + k + 1, failures) {
+                        return LerEstimate::from_counts(done + k + 1, failures);
+                    }
+                }
+            } else {
+                // Sample the whole batch in parallel (each shot owns its seeded
+                // stream and a disjoint flag slot), then scan the flags in shot
+                // order for the earliest prefix meeting the target.
+                flags.clear();
+                flags.resize_with(n, || AtomicBool::new(false));
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| {
+                            let mut scratch = ShotScratch::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= n {
+                                    break;
+                                }
+                                let mut rng = StdRng::seed_from_u64(config.shot_seed(done + k));
+                                if self.sample_one_with(&mut rng, &mut scratch) {
+                                    flags[k].store(true, Ordering::Relaxed);
+                                }
+                            }
+                        });
+                    }
+                });
+                for (k, flag) in flags.iter().enumerate() {
+                    if flag.load(Ordering::Relaxed) {
+                        failures += 1;
+                    }
+                    if target.met_by(done + k + 1, failures) {
+                        return LerEstimate::from_counts(done + k + 1, failures);
+                    }
+                }
+            }
+            done += n;
+        }
+        LerEstimate::from_counts(done, failures)
     }
 }
+
+/// Default initial execution batch size of [`MemoryExperiment::run_adaptive`]:
+/// large enough to amortize thread handoffs, small enough that a high-failure point
+/// stops within a few batches. Batch sizes never affect results, only scheduling.
+pub const ADAPTIVE_BATCH: usize = 256;
+
+/// Ceiling of the geometric batch growth in
+/// [`MemoryExperiment::run_adaptive_batched`]: bounds both the flag-buffer size
+/// and the shots sampled past a satisfiable stopping point.
+pub const ADAPTIVE_BATCH_CAP: usize = 16_384;
 
 /// One operating point of a logical-error-rate sweep: a code evaluated at physical
 /// error rate `p` with a syndrome-extraction round latency of `latency` seconds.
@@ -281,12 +470,35 @@ pub struct LerPoint<'a> {
 /// [`MemoryExperiment::set_model`]. `config.threads` sizes the pool (0 = available
 /// parallelism, capped at 16).
 pub fn estimate_points(points: &[LerPoint<'_>], config: &MemoryConfig) -> Vec<LerEstimate> {
+    estimate_points_adaptive(points, &vec![None; points.len()], config)
+}
+
+/// [`estimate_points`] with an optional [`PrecisionTarget`] per point: `None` runs
+/// the fixed `config.shots` budget exactly as before; `Some(target)` samples the
+/// point adaptively (stop at precision, capped by `target.max_shots`, see
+/// [`MemoryExperiment::run_adaptive`]). Fixed and adaptive points may be mixed in
+/// one call and share the pool.
+///
+/// # Panics
+///
+/// Panics if `targets` is not exactly one entry per point.
+pub fn estimate_points_adaptive(
+    points: &[LerPoint<'_>],
+    targets: &[Option<PrecisionTarget>],
+    config: &MemoryConfig,
+) -> Vec<LerEstimate> {
+    assert_eq!(
+        points.len(),
+        targets.len(),
+        "need exactly one precision target slot per point"
+    );
     if points.is_empty() {
         return Vec::new();
     }
     let workers = config.worker_count().max(1).min(points.len());
-    // Each point samples with a single worker thread; LER estimates are thread-count
-    // invariant, so this only affects scheduling, never the values.
+    // Each point samples with a single worker thread; both the fixed and the
+    // adaptive estimate are thread-count invariant, so this only affects
+    // scheduling, never the values.
     let point_config = MemoryConfig {
         threads: 1,
         ..*config
@@ -322,7 +534,10 @@ pub fn estimate_points(points: &[LerPoint<'_>], config: &MemoryConfig) -> Vec<Le
                             &mut experiments.last_mut().expect("just pushed").1
                         }
                     };
-                    let estimate = exp.run(&point_config);
+                    let estimate = match &targets[i] {
+                        None => exp.run(&point_config),
+                        Some(target) => exp.run_adaptive(&point_config, target),
+                    };
                     *results[i].lock().expect("unpoisoned") = Some(estimate);
                 }
             });
@@ -444,6 +659,139 @@ mod tests {
         // Nonzero-failure points are unchanged: ler equals the raw fraction.
         let some = LerEstimate::from_counts(1000, 10);
         assert_eq!(some.std_err, (0.01f64 * 0.99 / 1000.0).sqrt());
+    }
+
+    #[test]
+    fn zero_shot_config_returns_the_empty_estimate() {
+        // Regression: shots == 0 used to fabricate a phantom 1-shot zero-failure
+        // estimate (ler floored to 0.5) via `from_counts(shots.max(1), ...)`.
+        let code = bb_72_12_6().expect("valid");
+        let est = logical_error_rate(&code, 5e-3, 0.0, &MemoryConfig::with_shots(0));
+        assert!(est.is_empty());
+        assert_eq!(est.shots, 0);
+        assert_eq!(est.failures, 0);
+        assert_eq!(est.ler, 0.0);
+        assert_eq!(est.std_err, 0.0);
+        assert!(!est.is_upper_bound(), "no shots is no measurement, not an upper bound");
+        assert!(est.ler.is_finite() && est.std_err.is_finite());
+        assert_eq!(est.relative_std_err(), f64::INFINITY);
+        assert_eq!(est, LerEstimate::empty());
+    }
+
+    #[test]
+    fn precision_target_stop_rule() {
+        let t = PrecisionTarget::new(0.48, 3, 10_000);
+        // Below the failure floor: never met, whatever the rse would be.
+        assert!(!t.met_by(10_000, 2));
+        assert!(!t.met_by(0, 0));
+        // rse = sqrt((1-p)/(p*s)): 4 failures in 40 shots → p=0.1, rse = 0.474 ≤ 0.48.
+        assert!(t.met_by(40, 4));
+        // Same failures over more shots → rse approaches 1/√failures = 0.49975 → not met.
+        assert!(!t.met_by(4_000, 4));
+        // The failure floor is at least 1, so a floored zero-failure estimate never
+        // satisfies any target.
+        let loose = PrecisionTarget::new(100.0, 0, 100);
+        assert!(!loose.met_by(100, 0));
+        assert!(loose.met_by(100, 1));
+        // target_rse = 0 never stops early.
+        assert!(!PrecisionTarget::new(0.0, 1, 100).met_by(100, 99));
+    }
+
+    #[test]
+    fn adaptive_estimate_is_a_prefix_of_the_fixed_path() {
+        // The adaptive run must return exactly what a fixed-budget run of its own
+        // shot count returns: the stop rule chooses the budget, never the sample.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(0.05), 0.0);
+        let exp = MemoryExperiment::new(&code, model, 15);
+        let config = MemoryConfig {
+            shots: 0, // ignored by the adaptive path
+            bp_iterations: 15,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let target = PrecisionTarget::new(0.35, 8, 5_000);
+        let adaptive = exp.run_adaptive(&config, &target);
+        assert!(adaptive.shots < 5_000, "high-failure point must stop early");
+        assert!(target.met_by(adaptive.shots, adaptive.failures));
+        assert!(
+            !target.met_by(adaptive.shots - 1, adaptive.failures - usize::from(adaptive.failures > 0)),
+            "must stop at the *smallest* qualifying prefix"
+        );
+        let fixed = exp.run(&MemoryConfig {
+            shots: adaptive.shots,
+            ..config
+        });
+        assert_eq!(adaptive, fixed, "adaptive result must be the fixed result of its shot count");
+    }
+
+    #[test]
+    fn adaptive_is_thread_and_batch_invariant() {
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(0.04), 0.0);
+        let exp = MemoryExperiment::new(&code, model, 15);
+        let base = MemoryConfig {
+            shots: 0,
+            bp_iterations: 15,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let target = PrecisionTarget::new(0.4, 6, 2_000);
+        let reference = exp.run_adaptive_batched(&base, &target, 1);
+        for (threads, batch) in [(1usize, 7usize), (1, 64), (4, 1), (4, 32), (4, 997)] {
+            let got = exp.run_adaptive_batched(&MemoryConfig { threads, ..base }, &target, batch);
+            assert_eq!(
+                got, reference,
+                "threads={threads} batch={batch} diverged from the single-shot reference"
+            );
+        }
+        assert_eq!(exp.run_adaptive(&MemoryConfig { threads: 4, ..base }, &target), reference);
+    }
+
+    #[test]
+    fn adaptive_caps_at_max_shots() {
+        // An unreachable target (failure floor above what the cap can deliver)
+        // must cap at max_shots and match the fixed run of that budget exactly.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(1e-4), 0.0);
+        let exp = MemoryExperiment::new(&code, model, 15);
+        let config = MemoryConfig {
+            shots: 0,
+            bp_iterations: 15,
+            threads: 2,
+            seed: 0xC1C1_0DE5,
+        };
+        let target = PrecisionTarget::new(0.1, 1_000_000, 300);
+        let capped = exp.run_adaptive(&config, &target);
+        assert_eq!(capped.shots, 300);
+        assert_eq!(capped, exp.run(&MemoryConfig { shots: 300, ..config }));
+        // A zero-shot cap is the empty estimate, like a zero-shot fixed config.
+        let empty = exp.run_adaptive(&config, &PrecisionTarget::new(0.1, 1, 0));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn estimate_points_adaptive_mixes_fixed_and_adaptive_points() {
+        let code = bb_72_12_6().expect("valid");
+        let config = MemoryConfig {
+            shots: 150,
+            bp_iterations: 15,
+            threads: 4,
+            seed: 0xC1C1_0DE5,
+        };
+        let points = [
+            LerPoint { code: &code, p: 0.05, latency: 0.0 },
+            LerPoint { code: &code, p: 0.05, latency: 0.0 },
+        ];
+        let target = PrecisionTarget::new(0.4, 6, 4_000);
+        let targets = [None, Some(target)];
+        let mixed = estimate_points_adaptive(&points, &targets, &config);
+        // The fixed slot matches the plain fixed path ...
+        assert_eq!(mixed[0], logical_error_rate(&code, 0.05, 0.0, &config));
+        // ... and the adaptive slot matches a direct adaptive run.
+        let model = HardwareNoiseModel::new(NoiseParameters::new(0.05), 0.0);
+        let exp = MemoryExperiment::new(&code, model, config.bp_iterations);
+        assert_eq!(mixed[1], exp.run_adaptive(&MemoryConfig { threads: 1, ..config }, &target));
     }
 
     #[test]

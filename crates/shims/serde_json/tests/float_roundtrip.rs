@@ -1,0 +1,85 @@
+//! The sweep cache (`cyclone::sweep`) persists `p` / `latency` / `ler` / `std_err`
+//! as JSON numbers and reuses a cached point only when the floats match the spec's
+//! bit-for-bit. That makes exact f64 round-tripping (`to_string` → `from_str`) a
+//! load-bearing property of this shim: a lossy formatter would silently invalidate
+//! (or worse, mismatch) cache entries. These property tests pin it, both for the
+//! value distributions the cache actually stores and for arbitrary bit patterns.
+
+use proptest::prelude::*;
+use serde_json::{from_str, to_string, Value};
+
+/// Renders `x` as a JSON document and parses it back, returning the recovered f64.
+fn round_trip(x: f64) -> f64 {
+    let text = to_string(&Value::Number(x));
+    match from_str(&text) {
+        Ok(Value::Number(y)) => y,
+        other => panic!("{x:?} rendered as {text:?} but parsed back as {other:?}"),
+    }
+}
+
+fn assert_exact(x: f64) {
+    let y = round_trip(x);
+    assert_eq!(
+        y.to_bits(),
+        x.to_bits(),
+        "f64 round trip lost bits: {x:?} (0x{:016x}) -> {y:?} (0x{:016x})",
+        x.to_bits(),
+        y.to_bits()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512).with_seed(0xC1C1_0DE5))]
+
+    #[test]
+    fn cache_like_probabilities_round_trip_exactly(p in 1e-12f64..1.0) {
+        assert_exact(p);
+    }
+
+    #[test]
+    fn cache_like_latencies_round_trip_exactly(latency in 0.0f64..10.0) {
+        assert_exact(latency);
+    }
+
+    #[test]
+    fn counting_estimates_round_trip_exactly(counts in (1usize..2_000_000, 0usize..2_000_000)) {
+        // Exactly the arithmetic `LerEstimate::from_counts` performs: the ler and
+        // std_err values the cache stores are derived from shot/failure counts.
+        let (shots, failures) = counts;
+        let failures = failures.min(shots);
+        let ler = if failures == 0 {
+            0.5 / shots as f64
+        } else {
+            failures as f64 / shots as f64
+        };
+        let std_err = (ler * (1.0 - ler) / shots as f64).sqrt();
+        assert_exact(ler);
+        assert_exact(std_err);
+    }
+
+    #[test]
+    fn arbitrary_finite_bit_patterns_round_trip_exactly(bits in any::<u64>()) {
+        // Subnormals, negative zero, huge magnitudes — everything finite must
+        // survive. (Non-finite values render as `null` by design, like serde_json.)
+        let x = f64::from_bits(bits);
+        if x.is_finite() {
+            assert_exact(x);
+        } else {
+            assert_eq!(to_string(&Value::Number(x)), "null");
+        }
+    }
+
+    #[test]
+    fn floats_survive_inside_documents(values in proptest::collection::vec(1e-9f64..1.0, 1..8)) {
+        // The cache stores floats nested in objects/arrays; the document round
+        // trip must be exact too, not just the scalar one.
+        let doc = Value::Array(values.iter().map(|&v| Value::Number(v)).collect());
+        let parsed = from_str(&to_string(&doc)).expect("valid document");
+        let Some(items) = parsed.as_array() else { panic!("array expected") };
+        assert_eq!(items.len(), values.len());
+        for (orig, item) in values.iter().zip(items) {
+            let got = item.as_f64().expect("number");
+            assert_eq!(got.to_bits(), orig.to_bits());
+        }
+    }
+}
