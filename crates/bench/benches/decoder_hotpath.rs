@@ -142,10 +142,52 @@ fn main() {
     );
     let speedup = shot_rate / PRE_PR_BASELINE_SHOTS_PER_SEC;
 
+    // --- Per-channel-kind sampling throughput. ------------------------------
+    // The biased channel exercises syndrome flips + per-bit priors; the
+    // "schedule" channel is a fully heterogeneous from_schedule instantiation
+    // (distinct data and ancilla idle exposures). Both must also be
+    // allocation-free in steady state.
+    let channel_rate = |channel: noise::ErrorChannel| -> f64 {
+        let exp = MemoryExperiment::with_channel(&code, model, channel, 30);
+        let mut scratch = ShotScratch::new();
+        for shot in 0..256usize {
+            let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5 ^ shot as u64);
+            black_box(exp.sample_one_with(&mut rng, &mut scratch));
+        }
+        let before = allocations();
+        let rate = rate(iters, |shot| {
+            let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5 ^ shot as u64);
+            black_box(exp.sample_one_with(&mut rng, &mut scratch));
+        });
+        assert_eq!(
+            allocations() - before,
+            0,
+            "steady-state channel sampling must not allocate"
+        );
+        rate
+    };
+    let biased_rate = channel_rate(noise::ErrorChannel::biased(
+        n,
+        code.num_stabilizers(),
+        P,
+        2.0 * P,
+    ));
+    let schedule_rate = {
+        let data_idle: Vec<f64> = (0..n).map(|q| 1e-2 * (q % 7) as f64 / 6.0).collect();
+        let meas_idle: Vec<f64> = (0..code.num_stabilizers())
+            .map(|c| 1e-2 * (c % 5) as f64 / 4.0)
+            .collect();
+        channel_rate(noise::ErrorChannel::from_schedule(
+            &model, &data_idle, &meas_idle,
+        ))
+    };
+
     println!("decoder hot path, [[72,12,6]] BB code at p = {P:.0e} ({iters} iterations)");
     println!("  BP-only       {bp_rate:>12.0} decodes/sec");
     println!("  OSD-fallback  {osd_rate:>12.0} decodes/sec");
     println!("  full-shot     {shot_rate:>12.0} shots/sec");
+    println!("  biased-channel   {biased_rate:>9.0} shots/sec");
+    println!("  schedule-channel {schedule_rate:>9.0} shots/sec");
     println!("  steady-state heap allocations per shot: {steady_state_allocs}");
     println!(
         "  speedup vs pre-PR baseline ({PRE_PR_BASELINE_SHOTS_PER_SEC:.0} shots/sec): {speedup:.2}x"
@@ -156,6 +198,8 @@ fn main() {
          \"bp_only_decodes_per_sec\": {bp_rate:.1},\n  \
          \"osd_fallback_decodes_per_sec\": {osd_rate:.1},\n  \
          \"full_shot_shots_per_sec\": {shot_rate:.1},\n  \
+         \"channel_shots_per_sec\": {{\n    \"uniform\": {shot_rate:.1},\n    \
+         \"biased\": {biased_rate:.1},\n    \"schedule\": {schedule_rate:.1}\n  }},\n  \
          \"steady_state_allocs_per_shot\": {steady_state_allocs},\n  \
          \"pre_pr_baseline_shots_per_sec\": {PRE_PR_BASELINE_SHOTS_PER_SEC:.1},\n  \
          \"speedup_vs_pre_pr\": {speedup:.2}\n}}\n",

@@ -11,7 +11,8 @@ use cyclone::experiments::{
     fig13_trap_capacity_sweep_with, fig16_spacetime, fig17_loose_capacity_with,
     fig18_op_time_sweep_with, fig20_compiler_comparison, fig21_swap_sensitivity,
     fig3_parallel_speedup, fig5_latency_vs_ler_with, fig6_confusion_matrix,
-    fig9_junction_sensitivity_with, ler_comparison_with, spatial_summary,
+    fig9_junction_sensitivity_with, fig_hetero_with, ler_comparison_with, spatial_summary,
+    HETERO_DEFAULT_RATIOS,
 };
 use cyclone::{best_configuration, default_trap_counts, trap_capacity_sweep};
 use qccd::timing::OperationTimes;
@@ -21,6 +22,11 @@ struct Row {
     scenario: String,
     paper: &'static str,
     measured: String,
+}
+
+/// Number of distinct codesigns in the hetero rows (one uniform row each).
+fn standard_registry_len(rows: &[cyclone::experiments::HeteroRow]) -> usize {
+    rows.iter().filter(|r| r.channel == "uniform").count()
 }
 
 fn main() {
@@ -38,7 +44,10 @@ fn main() {
     });
     rows.push(Row {
         figure: "Fig. 3",
-        scenario: format!("max-parallel vs serial schedule depth, {} codes", fig3.len()),
+        scenario: format!(
+            "max-parallel vs serial schedule depth, {} codes",
+            fig3.len()
+        ),
         paper: "order-of-magnitude idealized speedups",
         measured: format!("{lo:.1}x – {hi:.1}x"),
     });
@@ -112,7 +121,11 @@ fn main() {
         ("Fig. 14", "BB", bench::bb_codes()),
         ("Fig. 15", "HGP", bench::hgp_codes()),
     ] {
-        let cache_name = if label == "BB" { "fig14_bb_ler" } else { "fig15_hgp_ler" };
+        let cache_name = if label == "BB" {
+            "fig14_bb_ler"
+        } else {
+            "fig15_hgp_ler"
+        };
         let rows_f = ler_comparison_with(cache_name, &codes, &bench::error_rate_grid(), &ctx.sweep);
         let best_improvement = rows_f
             .iter()
@@ -138,8 +151,14 @@ fn main() {
 
     // Fig. 17 — loose capacity.
     let fig17 = fig17_loose_capacity_with(&sens, 1e-4, &[5, 8, 12, 20, 40], &ctx.sweep);
-    let spread = fig17.iter().map(|r| r.execution_time).fold(f64::MIN, f64::max)
-        / fig17.iter().map(|r| r.execution_time).fold(f64::MAX, f64::min);
+    let spread = fig17
+        .iter()
+        .map(|r| r.execution_time)
+        .fold(f64::MIN, f64::max)
+        / fig17
+            .iter()
+            .map(|r| r.execution_time)
+            .fold(f64::MAX, f64::min);
     rows.push(Row {
         figure: "Fig. 17",
         scenario: format!("baseline with excess trap capacity, {}", sens.descriptor()),
@@ -153,7 +172,10 @@ fn main() {
     let gap9 = fig18[2].baseline_latency / fig18[2].cyclone_latency;
     rows.push(Row {
         figure: "Fig. 18",
-        scenario: format!("gate+shuttle times reduced 0% -> 90%, {}", sens.descriptor()),
+        scenario: format!(
+            "gate+shuttle times reduced 0% -> 90%, {}",
+            sens.descriptor()
+        ),
         paper: "Cyclone's latency edge persists as operations speed up",
         measured: format!("latency gap {gap0:.1}x at 0%, {gap9:.1}x at 90%"),
     });
@@ -161,9 +183,9 @@ fn main() {
     // Fig. 19 — execution times (captured via Fig. 16's codes).
     let fig19 = cyclone::experiments::fig19_execution_times(&codes, &times);
     let speedups: Vec<f64> = fig19.iter().map(|r| r.baseline / r.cyclone).collect();
-    let (s_lo, s_hi) = speedups.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &s| {
-        (lo.min(s), hi.max(s))
-    });
+    let (s_lo, s_hi) = speedups
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &s| (lo.min(s), hi.max(s)));
     rows.push(Row {
         figure: "Fig. 19",
         scenario: format!("alternate grid / baseline / Cyclone, {} codes", fig19.len()),
@@ -173,7 +195,10 @@ fn main() {
 
     // Fig. 20 — compiler comparison.
     let fig20 = fig20_compiler_comparison(&sens, &times);
-    let cyclone_row = fig20.iter().find(|r| r.compiler == "Cyclone").expect("present");
+    let cyclone_row = fig20
+        .iter()
+        .find(|r| r.compiler == "Cyclone")
+        .expect("present");
     let best_baseline = fig20
         .iter()
         .filter(|r| r.compiler != "Cyclone")
@@ -181,7 +206,10 @@ fn main() {
         .fold(f64::MAX, f64::min);
     rows.push(Row {
         figure: "Fig. 20",
-        scenario: format!("4 compilers with component breakdown, {}", sens.descriptor()),
+        scenario: format!(
+            "4 compilers with component breakdown, {}",
+            sens.descriptor()
+        ),
         paper: "Cyclone beats all three baseline compilers",
         measured: format!(
             "Cyclone {:.1}x faster than the best baseline compiler, parallelization {:.1}x",
@@ -193,8 +221,12 @@ fn main() {
     // Fig. 21 — swap sensitivity.
     let fig21 = fig21_swap_sensitivity(&sens);
     let cyclone_wins = ["GateSwap", "IonSwap"].iter().all(|kind| {
-        let base = fig21.iter().find(|r| r.codesign == "baseline" && r.swap_kind == *kind);
-        let cyc = fig21.iter().find(|r| r.codesign == "cyclone" && r.swap_kind == *kind);
+        let base = fig21
+            .iter()
+            .find(|r| r.codesign == "baseline" && r.swap_kind == *kind);
+        let cyc = fig21
+            .iter()
+            .find(|r| r.codesign == "cyclone" && r.swap_kind == *kind);
         matches!((base, cyc), (Some(b), Some(c)) if c.execution_time < b.execution_time)
     });
     rows.push(Row {
@@ -208,9 +240,41 @@ fn main() {
         },
     });
 
+    // fig_hetero — channel-structured noise across the codesign registry.
+    let bb = qec::codes::bb_72_12_6().expect("valid");
+    let hetero = fig_hetero_with(&bb, 2e-3, &HETERO_DEFAULT_RATIOS, &ctx.sweep);
+    let worst = hetero
+        .iter()
+        .filter(|r| r.channel != "uniform")
+        .filter_map(|r| {
+            let uniform = hetero
+                .iter()
+                .find(|u| u.codesign == r.codesign && u.channel == "uniform")?;
+            Some((r.ler.ler / uniform.ler.ler, r))
+        })
+        .max_by(|a, b| a.0.total_cmp(&b.0));
+    rows.push(Row {
+        figure: "Hetero",
+        scenario: format!(
+            "{} codesigns x uniform/biased/schedule channels, {}",
+            standard_registry_len(&hetero),
+            bb.descriptor()
+        ),
+        paper: "beyond-paper: noise structure as a scenario dimension",
+        measured: match worst {
+            Some((d, r)) => format!(
+                "largest LER degradation vs uniform {d:.1}x ({} under {})",
+                r.codesign, r.channel
+            ),
+            None => "no structured rows".to_string(),
+        },
+    });
+
     // Spatial summary.
     let spatial = spatial_summary(&codes);
-    let halved = spatial.iter().all(|r| r.cyclone_ancillas * 2 == r.baseline_ancillas);
+    let halved = spatial
+        .iter()
+        .all(|r| r.cyclone_ancillas * 2 == r.baseline_ancillas);
     let fewer_dacs = spatial.iter().all(|r| r.cyclone_dacs < r.baseline_dacs);
     rows.push(Row {
         figure: "Spatial",
@@ -263,12 +327,21 @@ fn main() {
            fixed budget, so precision *improves* where it was worst. `--full` runs\n\
            are adaptive by default; `--fixed` (or `--target-rse 0`) pins the fixed\n\
            path, which reproduces the pre-adaptive tables byte-for-byte.\n\n\
-         The `sweeps/<figure>.json` cache (schema 2) records the shots actually\n\
-         spent per point. A fixed-budget request reuses an entry only at the exact\n\
-         shot count; a precision-targeted request reuses any entry that\n\
-         meets-or-exceeds the requested precision (including fixed full-shot\n\
-         entries). Schema-1 files (no `schema` field) stay readable without\n\
-         migration — their per-point shot counts are what the reuse rules consult;\n\
+         Every point also samples under an **error channel** (`--noise\n\
+         uniform|biased:<ratio>|schedule`): `uniform` is the historical scalar\n\
+         model, `biased:<ratio>` adds measurement flips at `<ratio>` times the\n\
+         data rate, and `schedule` derives per-qubit rates from each codesign's\n\
+         compiled idle exposure (the `fig_hetero` scenario sweeps all three\n\
+         across the codesign registry).\n\n\
+         The `sweeps/<figure>.json` cache (schema 3) records the shots actually\n\
+         spent per point and the channel it was sampled under. A fixed-budget\n\
+         request reuses an entry only at the exact shot count; a\n\
+         precision-targeted request reuses any entry that meets-or-exceeds the\n\
+         requested precision (including fixed full-shot entries); in both cases\n\
+         the entry's channel identity must match the request's. Schema-1 files\n\
+         (no `schema` field) and schema-2 files stay readable without migration —\n\
+         their per-point shot counts are what the reuse rules consult, and their\n\
+         entries read back as uniform-channel points (which is what they were);\n\
          files with a foreign seed or BP iteration count are invalidated wholesale.\n\n\
          Regenerate with more sampling: `CYCLONE_SHOTS=20000 cargo bench -p bench \
          --bench experiments_md` (or `-- --shots 20000`); add `--target-rse 0.05 \

@@ -10,8 +10,13 @@ fn main() {
         "Fig. 3: fully parallel vs fully serial schedule speedup",
         |_ctx| {
             let rows = fig3_parallel_speedup(&bench::catalog());
-            let mut table =
-                Table::new(&["code", "family", "serial depth", "parallel depth", "speedup (x)"]);
+            let mut table = Table::new(&[
+                "code",
+                "family",
+                "serial depth",
+                "parallel depth",
+                "speedup (x)",
+            ]);
             for r in rows {
                 table.row(vec![
                     r.code,

@@ -12,8 +12,12 @@ fn main() {
         |_ctx| {
             let codes: Vec<_> = bench::catalog().into_iter().map(|e| e.code).collect();
             let rows = fig16_spacetime(&codes, &OperationTimes::default());
-            let mut table =
-                Table::new(&["code", "baseline spacetime", "cyclone spacetime", "improvement"]);
+            let mut table = Table::new(&[
+                "code",
+                "baseline spacetime",
+                "cyclone spacetime",
+                "improvement",
+            ]);
             for r in rows {
                 table.row(vec![
                     r.code,

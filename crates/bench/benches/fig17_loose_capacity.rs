@@ -15,7 +15,11 @@ fn main() {
         let rows = fig17_loose_capacity_with(&code, 1e-4, &capacities, &ctx.sweep);
         let mut table = Table::new(&["trap capacity", "baseline exec (ms)", "baseline LER"]);
         for r in rows {
-            table.row(vec![r.capacity.to_string(), ms(r.execution_time), sci(r.ler.ler)]);
+            table.row(vec![
+                r.capacity.to_string(),
+                ms(r.execution_time),
+                sci(r.ler.ler),
+            ]);
         }
         table
     });

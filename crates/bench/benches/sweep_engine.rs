@@ -46,12 +46,7 @@ fn timed_run(spec: &ScenarioSpec, options: &SweepOptions) -> (SweepResult, f64) 
 }
 
 /// One figure's adaptive-vs-fixed measurement, rendered as a JSON object literal.
-fn adaptive_vs_fixed(
-    figure: &str,
-    spec: &ScenarioSpec,
-    threads: usize,
-    shots: usize,
-) -> String {
+fn adaptive_vs_fixed(figure: &str, spec: &ScenarioSpec, threads: usize, shots: usize) -> String {
     let target = &PrecisionTarget::new(0.1, 100, shots);
     let (fixed, fixed_seconds) = timed_run(spec, &SweepOptions::ephemeral(config(threads, shots)));
     let (adaptive, adaptive_seconds) = timed_run(
@@ -123,12 +118,18 @@ fn main() {
     let _ = timed_run(&spec, &SweepOptions::ephemeral(config(1, shots.min(20))));
 
     let (serial, serial_seconds) = timed_run(&spec, &SweepOptions::ephemeral(config(1, shots)));
-    let (threaded, threaded_seconds) =
-        timed_run(&spec, &SweepOptions::ephemeral(config(threaded_workers, shots)));
+    let (threaded, threaded_seconds) = timed_run(
+        &spec,
+        &SweepOptions::ephemeral(config(threaded_workers, shots)),
+    );
 
     // The engine must be bit-identical at any pool size.
     for (a, b) in serial.points.iter().zip(&threaded.points) {
-        assert_eq!(a.ler.failures, b.ler.failures, "point {} diverged across pool sizes", a.id);
+        assert_eq!(
+            a.ler.failures, b.ler.failures,
+            "point {} diverged across pool sizes",
+            a.id
+        );
         assert_eq!(a.ler.ler, b.ler.ler);
     }
 
@@ -164,7 +165,12 @@ fn main() {
     let figures = [
         adaptive_vs_fixed("fig05_latency_vs_ler", &spec, threaded_workers, shots),
         adaptive_vs_fixed("fig14_bb_ler", &fig14, threaded_workers, shots),
-        adaptive_vs_fixed("fig09_junction_sensitivity", &fig9, threaded_workers, 5 * shots),
+        adaptive_vs_fixed(
+            "fig09_junction_sensitivity",
+            &fig9,
+            threaded_workers,
+            5 * shots,
+        ),
     ];
 
     let json = format!(

@@ -27,6 +27,10 @@
 //!   20 × `CYCLONE_SHOTS`).
 //! * `CYCLONE_FIXED` — set to `1` to force the fixed `CYCLONE_SHOTS` budget even
 //!   in `--full` runs (bit-identical to the pre-adaptive engine).
+//! * `CYCLONE_NOISE` — error-channel mode: `uniform` (default, the historical
+//!   scalar model), `biased:<ratio>` (measurement flips at `<ratio>` times the
+//!   data rate on every sweep point), or `schedule` (per-qubit channels from
+//!   compiled idle exposure, resolved by figures that compile profiled rounds).
 
 pub mod runner;
 
@@ -43,7 +47,8 @@ pub const DEFAULT_SHOTS: usize = 400;
 /// `default`. All `CYCLONE_*` knobs go through this single parser, so they share the
 /// whitespace-trimming and malformed-value semantics.
 pub fn env_parse<T: FromStr>(raw: Option<&str>, default: T) -> T {
-    raw.and_then(|s| s.trim().parse::<T>().ok()).unwrap_or(default)
+    raw.and_then(|s| s.trim().parse::<T>().ok())
+        .unwrap_or(default)
 }
 
 /// Parses a `CYCLONE_SHOTS` value: unset, empty, non-numeric, or zero falls back to

@@ -34,12 +34,25 @@
 //!   (`CYCLONE_FIXED=1`); the resulting tables are bit-identical to the
 //!   pre-adaptive engine.
 //!
+//! Channel-structured noise:
+//!
+//! * `--noise uniform|biased:<ratio>|schedule` — the error channel every
+//!   Monte-Carlo point samples under (`CYCLONE_NOISE`). `uniform` (the default)
+//!   is the historical scalar model, bit-identical to the pre-channel engine.
+//!   `biased:<ratio>` adds measurement flips at `<ratio>` times the effective
+//!   data rate to every sweep point (cache entries are keyed per channel, so
+//!   biased and uniform runs never poison each other). `schedule` requests
+//!   per-qubit channels derived from each codesign's compiled idle exposure —
+//!   figures that compile profiled rounds (`fig_hetero`) resolve it per point;
+//!   figures that only know latencies fall back to uniform and say so.
+//!
 //! Unknown flags (e.g. the `--bench` cargo appends) are ignored. Flags override the
 //! corresponding environment variables for the run.
 
 use crate::Table;
 use cyclone::sweep::SweepOptions;
 use decoder::memory::{MemoryConfig, PrecisionTarget};
+use noise::ChannelSpec;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -56,6 +69,39 @@ pub const DEFAULT_MIN_FAILURES: usize = 100;
 /// much deeper to reach the target precision.
 pub const MAX_SHOTS_FACTOR: usize = 20;
 
+/// The resolved `--noise` / `CYCLONE_NOISE` channel mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseFlag {
+    /// The historical scalar model (the default).
+    Uniform,
+    /// Measurement flips at this ratio of the effective data rate on every point.
+    Biased(f64),
+    /// Schedule-derived per-qubit channels, resolved by figures that compile
+    /// profiled rounds; others fall back to uniform.
+    Schedule,
+}
+
+impl NoiseFlag {
+    /// Parses `uniform`, `biased:<ratio>` (finite, non-negative ratio), or
+    /// `schedule`; anything else is malformed (`None`), falling back per the
+    /// workspace convention.
+    pub fn parse(raw: &str) -> Option<Self> {
+        let raw = raw.trim();
+        match raw {
+            "uniform" => Some(NoiseFlag::Uniform),
+            "schedule" => Some(NoiseFlag::Schedule),
+            _ => raw.strip_prefix("biased:").and_then(|ratio| {
+                ratio
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r >= 0.0)
+                    .map(NoiseFlag::Biased)
+            }),
+        }
+    }
+}
+
 /// Everything a figure closure needs: the Monte-Carlo configuration and the sweep
 /// options (pool size + cache location) resolved from flags and environment.
 #[derive(Debug, Clone)]
@@ -64,12 +110,17 @@ pub struct RunContext {
     pub config: MemoryConfig,
     /// Sweep execution options (pass to the `*_with` experiment runners; carries
     /// the resolved precision target in `sweep.precision` when adaptive mode is
-    /// active, `None` = fixed shot budget).
+    /// active, `None` = fixed shot budget, and the default channel spec in
+    /// `sweep.channel` when `--noise biased:<ratio>` is active).
     pub sweep: SweepOptions,
     /// CSV output requested (`--csv` / `CYCLONE_CSV`).
     pub csv: bool,
     /// Full code catalog requested (`--full` / `CYCLONE_FULL`).
     pub full: bool,
+    /// The requested channel mode (`--noise` / `CYCLONE_NOISE`). `Biased` is
+    /// already threaded into [`RunContext::sweep`]; `Schedule` is advisory — a
+    /// figure that compiles profiled rounds resolves it per point.
+    pub noise: NoiseFlag,
 }
 
 impl RunContext {
@@ -98,9 +149,14 @@ impl RunContext {
         let parse_rse = |s: &str| s.trim().parse::<f64>().ok().filter(|v| v.is_finite());
         let parse_cap = |s: &str| s.trim().parse::<usize>().ok().filter(|&n| n > 0);
         let mut target_rse: Option<f64> = env("CYCLONE_TARGET_RSE").as_deref().and_then(parse_rse);
-        let mut min_failures = crate::env_parse(env("CYCLONE_MIN_FAILURES").as_deref(), DEFAULT_MIN_FAILURES);
+        let mut min_failures =
+            crate::env_parse(env("CYCLONE_MIN_FAILURES").as_deref(), DEFAULT_MIN_FAILURES);
         let mut max_shots: Option<usize> = env("CYCLONE_MAX_SHOTS").as_deref().and_then(parse_cap);
         let mut fixed = crate::flag_from(env("CYCLONE_FIXED").as_deref());
+        let mut noise = env("CYCLONE_NOISE")
+            .as_deref()
+            .and_then(NoiseFlag::parse)
+            .unwrap_or(NoiseFlag::Uniform);
 
         let mut i = 0;
         while i < args.len() {
@@ -146,6 +202,14 @@ impl RunContext {
                     }
                 }
                 "--fixed" => fixed = true,
+                "--noise" => {
+                    if let Some(value) = args.get(i + 1) {
+                        // A malformed value keeps whatever the environment
+                        // resolved to (the workspace's malformed-flag rule).
+                        noise = NoiseFlag::parse(value).unwrap_or(noise);
+                        i += 1;
+                    }
+                }
                 _ => {}
             }
             i += 1;
@@ -180,7 +244,16 @@ impl RunContext {
         if let Some(target) = precision {
             sweep = sweep.with_precision(target);
         }
-        RunContext { config, sweep, csv, full }
+        if let NoiseFlag::Biased(ratio) = noise {
+            sweep = sweep.with_channel(ChannelSpec::Biased { meas_ratio: ratio });
+        }
+        RunContext {
+            config,
+            sweep,
+            csv,
+            full,
+            noise,
+        }
     }
 
     /// The cache directory, when caching is enabled.
@@ -251,6 +324,16 @@ pub fn figure<R: Into<FigureReport>>(
             target.target_rse, target.min_failures, target.max_shots
         );
     }
+    match context.noise {
+        NoiseFlag::Uniform => {}
+        NoiseFlag::Biased(ratio) => {
+            println!("(noise channel: measurement flips at {ratio}x the data rate on every point)");
+        }
+        NoiseFlag::Schedule => println!(
+            "(noise channel: schedule-derived; honored by figures that compile profiled \
+             rounds, e.g. fig_hetero — latency-only figures sample uniformly)"
+        ),
+    }
     for note in &report.notes {
         println!("\n{note}");
     }
@@ -274,7 +357,13 @@ fn write_table_json(
     root.insert("title".to_string(), Value::from(title));
     root.insert(
         "headers".to_string(),
-        Value::Array(table.headers().iter().map(|h| Value::from(h.as_str())).collect()),
+        Value::Array(
+            table
+                .headers()
+                .iter()
+                .map(|h| Value::from(h.as_str()))
+                .collect(),
+        ),
     );
     root.insert(
         "rows".to_string(),
@@ -302,7 +391,12 @@ mod tests {
     #[test]
     fn flags_override_defaults() {
         let ctx = RunContext::from_args(&args(&[
-            "--shots", "77", "--threads", "3", "--no-cache", "--ignored-flag",
+            "--shots",
+            "77",
+            "--threads",
+            "3",
+            "--no-cache",
+            "--ignored-flag",
         ]));
         assert_eq!(ctx.config.shots, 77);
         assert_eq!(ctx.config.threads, 3);
@@ -319,7 +413,10 @@ mod tests {
     #[test]
     fn cache_dir_flag_redirects_the_cache() {
         let ctx = RunContext::from_args(&args(&["--cache-dir", "/tmp/sweep-test"]));
-        assert_eq!(ctx.cache_dir(), Some(std::path::Path::new("/tmp/sweep-test")));
+        assert_eq!(
+            ctx.cache_dir(),
+            Some(std::path::Path::new("/tmp/sweep-test"))
+        );
     }
 
     #[test]
@@ -343,14 +440,20 @@ mod tests {
         // A typo'd value is "unset", never an accidental disable: with --full the
         // adaptive default still applies, without it the run stays fixed.
         let ctx = RunContext::from_args(&args(&["--full", "--target-rse", "O.1"]));
-        let target = ctx.sweep.precision.expect("malformed value must not disable --full adaptive");
+        let target = ctx
+            .sweep
+            .precision
+            .expect("malformed value must not disable --full adaptive");
         assert_eq!(target.target_rse, DEFAULT_TARGET_RSE);
         let ctx = RunContext::from_args(&args(&["--target-rse", "abc"]));
         assert!(ctx.sweep.precision.is_none());
         // Non-finite values are malformed too: NaN must not slip past the
         // disable guard into a stop rule that can never fire.
         let ctx = RunContext::from_args(&args(&["--full", "--target-rse", "nan"]));
-        assert_eq!(ctx.sweep.precision.map(|t| t.target_rse), Some(DEFAULT_TARGET_RSE));
+        assert_eq!(
+            ctx.sweep.precision.map(|t| t.target_rse),
+            Some(DEFAULT_TARGET_RSE)
+        );
         let ctx = RunContext::from_args(&args(&["--target-rse", "inf"]));
         assert!(ctx.sweep.precision.is_none());
     }
@@ -361,7 +464,14 @@ mod tests {
         // already resolved (the documented env→flag override never *discards* a
         // valid env setting on a typo'd flag).
         let ctx = RunContext::from_args(&args(&[
-            "--shots", "400", "--target-rse", "0.2", "--min-failures", "4OO", "--max-shots", "x",
+            "--shots",
+            "400",
+            "--target-rse",
+            "0.2",
+            "--min-failures",
+            "4OO",
+            "--max-shots",
+            "x",
         ]));
         let target = ctx.sweep.precision.expect("adaptive");
         assert_eq!(target.min_failures, DEFAULT_MIN_FAILURES);
@@ -371,7 +481,10 @@ mod tests {
     #[test]
     fn full_runs_sample_adaptively_by_default() {
         let ctx = RunContext::from_args(&args(&["--shots", "1000", "--full"]));
-        let target = ctx.sweep.precision.expect("--full enables adaptive sampling");
+        let target = ctx
+            .sweep
+            .precision
+            .expect("--full enables adaptive sampling");
         assert_eq!(target.target_rse, DEFAULT_TARGET_RSE);
         assert_eq!(target.min_failures, DEFAULT_MIN_FAILURES);
         assert_eq!(target.max_shots, 1000 * MAX_SHOTS_FACTOR);
@@ -382,18 +495,69 @@ mod tests {
     fn fixed_flag_pins_the_fixed_path_even_in_full_mode() {
         let ctx = RunContext::from_args(&args(&["--full", "--fixed"]));
         assert!(ctx.full);
-        assert!(ctx.sweep.precision.is_none(), "--fixed must win over the --full default");
+        assert!(
+            ctx.sweep.precision.is_none(),
+            "--fixed must win over the --full default"
+        );
         // --target-rse 0 is the explicit-disable spelling of the same thing.
         let ctx = RunContext::from_args(&args(&["--full", "--target-rse", "0"]));
         assert!(ctx.sweep.precision.is_none());
     }
 
     #[test]
+    fn noise_flag_parses_all_three_modes() {
+        assert_eq!(NoiseFlag::parse("uniform"), Some(NoiseFlag::Uniform));
+        assert_eq!(NoiseFlag::parse(" schedule "), Some(NoiseFlag::Schedule));
+        assert_eq!(NoiseFlag::parse("biased:2.5"), Some(NoiseFlag::Biased(2.5)));
+        assert_eq!(NoiseFlag::parse("biased: 0 "), Some(NoiseFlag::Biased(0.0)));
+        assert_eq!(NoiseFlag::parse("biased:-1"), None);
+        assert_eq!(NoiseFlag::parse("biased:nan"), None);
+        assert_eq!(NoiseFlag::parse("biased:"), None);
+        assert_eq!(NoiseFlag::parse("gaussian"), None);
+    }
+
+    #[test]
+    fn noise_flag_threads_the_channel_into_sweep_options() {
+        // Default: uniform, no channel on the sweep — bit-identical engine.
+        let ctx = RunContext::from_args(&args(&["--shots", "100"]));
+        assert_eq!(ctx.noise, NoiseFlag::Uniform);
+        assert!(ctx.sweep.channel.is_none());
+
+        // biased:<ratio> becomes the engine-wide default channel.
+        let ctx = RunContext::from_args(&args(&["--noise", "biased:3"]));
+        assert_eq!(ctx.noise, NoiseFlag::Biased(3.0));
+        assert_eq!(
+            ctx.sweep.channel,
+            Some(ChannelSpec::Biased { meas_ratio: 3.0 })
+        );
+
+        // schedule is advisory: the sweep default stays uniform, figures that can
+        // resolve per-codesign channels read ctx.noise.
+        let ctx = RunContext::from_args(&args(&["--noise", "schedule"]));
+        assert_eq!(ctx.noise, NoiseFlag::Schedule);
+        assert!(ctx.sweep.channel.is_none());
+
+        // Malformed values keep the earlier resolution.
+        let ctx = RunContext::from_args(&args(&["--noise", "biased:3", "--noise", "bogus"]));
+        assert_eq!(ctx.noise, NoiseFlag::Biased(3.0));
+    }
+
+    #[test]
     fn adaptive_flags_resolve_a_precision_target() {
         let ctx = RunContext::from_args(&args(&[
-            "--shots", "400", "--target-rse", "0.25", "--min-failures", "30", "--max-shots", "9000",
+            "--shots",
+            "400",
+            "--target-rse",
+            "0.25",
+            "--min-failures",
+            "30",
+            "--max-shots",
+            "9000",
         ]));
-        let target = ctx.sweep.precision.expect("--target-rse enables adaptive sampling");
+        let target = ctx
+            .sweep
+            .precision
+            .expect("--target-rse enables adaptive sampling");
         assert_eq!(target.target_rse, 0.25);
         assert_eq!(target.min_failures, 30);
         assert_eq!(target.max_shots, 9000);

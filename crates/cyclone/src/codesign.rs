@@ -14,7 +14,7 @@
 //! roadblocks, total movement is bounded, and a single broadcast control signal
 //! suffices.
 
-use qccd::compiler::{CompiledRound, ComponentTimes};
+use qccd::compiler::{CompiledRound, ComponentTimes, IdleExposure};
 use qccd::timing::OperationTimes;
 use qccd::topology::ring;
 use qccd::{Topology, TopologyKind};
@@ -79,7 +79,10 @@ impl CycloneCodesign {
         let x = config.num_traps.unwrap_or(num_ancilla).max(1);
         let n = code.num_qubits();
         let tight_capacity = n.div_ceil(x) + num_ancilla.div_ceil(x);
-        let capacity = config.trap_capacity.unwrap_or(tight_capacity).max(tight_capacity);
+        let capacity = config
+            .trap_capacity
+            .unwrap_or(tight_capacity)
+            .max(tight_capacity);
 
         // Balanced data partition: consecutive qubits dealt into traps as evenly as
         // possible (the paper only requires the partition to be balanced).
@@ -170,7 +173,17 @@ impl CycloneCodesign {
 
     /// Simulates one lockstep rotation measuring `sector`, returning
     /// `(rotation_time, breakdown, gates_executed)`.
-    fn simulate_rotation(&self, sector: StabKind, times: &OperationTimes) -> (f64, ComponentTimes, usize) {
+    ///
+    /// When `profile` is given, per-qubit busy time (gate time for data qubits,
+    /// gate + measurement time for ancilla slots) is accumulated into it; the
+    /// timing math itself is untouched, so profiled and unprofiled runs are
+    /// bit-identical.
+    fn simulate_rotation(
+        &self,
+        sector: StabKind,
+        times: &OperationTimes,
+        mut profile: Option<&mut RotationProfile>,
+    ) -> (f64, ComponentTimes, usize) {
         let supports = self.sector_supports(sector);
         let x = self.num_traps;
         // Chain length for gate-time purposes: resident data + resident ancillas.
@@ -185,7 +198,13 @@ impl CycloneCodesign {
         // across the L-junction, and merged into the next trap — all in parallel.
         // With more than one ancilla per trap the swaps/splits serialize within the
         // trap, so the step charges `ancillas_in_trap` swap+split+merge sequences.
-        let max_anc_per_trap = self.ancilla_per_trap.iter().copied().max().unwrap_or(1).max(1);
+        let max_anc_per_trap = self
+            .ancilla_per_trap
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(1)
+            .max(1);
         let junction_cross = times.junction_crossing(2);
 
         for step in 0..x {
@@ -197,7 +216,17 @@ impl CycloneCodesign {
             for (slot, support) in supports.iter().enumerate() {
                 let trap = (self.ancilla_home(slot) + step) % x;
                 let here = &self.data_partition[trap];
-                let count = support.iter().filter(|d| here.contains(d)).count();
+                let g = times.two_qubit_gate(chain_len[trap]);
+                let mut count = 0usize;
+                for d in support {
+                    if here.contains(d) {
+                        count += 1;
+                        if let Some(p) = profile.as_deref_mut() {
+                            p.data_busy[*d] += g;
+                            p.ancilla_busy[slot] += g;
+                        }
+                    }
+                }
                 gates_in_trap[trap] += count;
                 gates_executed += count;
             }
@@ -238,14 +267,67 @@ impl CycloneCodesign {
         let meas_phase = max_anc_per_trap as f64 * meas;
         breakdown.measurement += meas * self.num_ancilla as f64;
         total += meas_phase;
+        if let Some(p) = profile {
+            for busy in &mut p.ancilla_busy {
+                *busy += meas;
+            }
+        }
 
         (total, breakdown, gates_executed)
     }
 
     /// Compiles one full round (two rotations: X then Z) and returns the timed result.
     pub fn compile(&self, times: &OperationTimes) -> CompiledRound {
-        let (tx, bx, gx) = self.simulate_rotation(StabKind::X, times);
-        let (tz, bz, gz) = self.simulate_rotation(StabKind::Z, times);
+        let (tx, bx, gx) = self.simulate_rotation(StabKind::X, times, None);
+        let (tz, bz, gz) = self.simulate_rotation(StabKind::Z, times, None);
+        self.assemble_round(tx, bx, gx, tz, bz, gz)
+    }
+
+    /// [`CycloneCodesign::compile`] plus the per-qubit [`IdleExposure`] of the round.
+    ///
+    /// Cyclone has no discrete-event simulator, so the profile is analytic: a qubit
+    /// is busy while it is being gated (and, for ancillas, measured); the lockstep
+    /// rotation itself — swaps, splits, junction crossings, merges — counts as
+    /// exposure, exactly like shuttling in `qccd::compiler::sim`. Each sector's
+    /// ancilla exposure covers the rotation that measures it (the ancilla ions are
+    /// re-prepared between the X and Z rotations).
+    pub fn compile_profiled(&self, times: &OperationTimes) -> (CompiledRound, IdleExposure) {
+        let n = self.data_partition.iter().map(Vec::len).sum::<usize>();
+        let mut px = RotationProfile::new(n, self.num_ancilla);
+        let mut pz = RotationProfile::new(n, self.num_ancilla);
+        let (tx, bx, gx) = self.simulate_rotation(StabKind::X, times, Some(&mut px));
+        let (tz, bz, gz) = self.simulate_rotation(StabKind::Z, times, Some(&mut pz));
+        let round = self.assemble_round(tx, bx, gx, tz, bz, gz);
+        let horizon = round.execution_time;
+        let data = (0..n)
+            .map(|q| (horizon - px.data_busy[q] - pz.data_busy[q]).max(0.0))
+            .collect();
+        let x_ancilla = (0..self.x_supports.len())
+            .map(|j| (tx - px.ancilla_busy[j]).max(0.0))
+            .collect();
+        let z_ancilla = (0..self.z_supports.len())
+            .map(|j| (tz - pz.ancilla_busy[j]).max(0.0))
+            .collect();
+        (
+            round,
+            IdleExposure {
+                data,
+                x_ancilla,
+                z_ancilla,
+                horizon,
+            },
+        )
+    }
+
+    fn assemble_round(
+        &self,
+        tx: f64,
+        bx: ComponentTimes,
+        gx: usize,
+        tz: f64,
+        bz: ComponentTimes,
+        gz: usize,
+    ) -> CompiledRound {
         let mut breakdown = bx;
         breakdown.accumulate(&bz);
         CompiledRound {
@@ -270,7 +352,8 @@ impl CycloneCodesign {
         let x = self.num_traps as f64;
         let anc_per_trap = self.num_ancilla.div_ceil(self.num_traps) as f64;
         let data_per_trap = num_data.div_ceil(self.num_traps) as f64;
-        let chain = (num_data.div_ceil(self.num_traps) + self.num_ancilla.div_ceil(self.num_traps)).max(2);
+        let chain =
+            (num_data.div_ceil(self.num_traps) + self.num_ancilla.div_ceil(self.num_traps)).max(2);
         let s = times.split + 2.0 * times.shuttle_move + times.junction_crossing(2) + times.merge;
         let g = times.two_qubit_gate(chain);
         let t_swap = times.swap(chain, 1);
@@ -285,6 +368,25 @@ impl CycloneCodesign {
         let times = OperationTimes::default();
         let round = self.compile(&times);
         round.num_gates == expected
+    }
+}
+
+/// Per-qubit busy-time accumulator of one lockstep rotation (see
+/// [`CycloneCodesign::compile_profiled`]).
+#[derive(Debug, Clone)]
+struct RotationProfile {
+    /// Gate time accumulated on each data qubit.
+    data_busy: Vec<f64>,
+    /// Gate + measurement time accumulated on each ancilla slot.
+    ancilla_busy: Vec<f64>,
+}
+
+impl RotationProfile {
+    fn new(num_data: usize, num_ancilla: usize) -> Self {
+        RotationProfile {
+            data_busy: vec![0.0; num_data],
+            ancilla_busy: vec![0.0; num_ancilla],
+        }
     }
 }
 
@@ -332,7 +434,8 @@ mod tests {
         for x in [27, 54, 108] {
             let design = CycloneCodesign::new(&code, CycloneConfig::with_traps(x));
             let round = design.compile(&OperationTimes::default());
-            let bound = design.worst_case_execution_time(&OperationTimes::default(), code.num_qubits());
+            let bound =
+                design.worst_case_execution_time(&OperationTimes::default(), code.num_qubits());
             assert!(
                 round.execution_time <= bound * 1.001,
                 "x={x}: simulated {} exceeds bound {}",
@@ -352,6 +455,33 @@ mod tests {
         // both must at least charge the same total gate work.
         assert!(sparse.breakdown.split > dense.breakdown.split);
         assert!(dense.breakdown.gate >= sparse.breakdown.gate * 0.9);
+    }
+
+    #[test]
+    fn profiled_compile_is_bit_identical_and_bounded() {
+        let code = bb_72_12_6().expect("valid");
+        let times = OperationTimes::default();
+        for x in [6, 12, 36] {
+            let design = CycloneCodesign::new(&code, CycloneConfig::with_traps(x));
+            let plain = design.compile(&times);
+            let (round, exposure) = design.compile_profiled(&times);
+            assert_eq!(plain, round, "x={x}: profiling perturbed the round");
+            assert_eq!(exposure.horizon, round.execution_time);
+            assert_eq!(exposure.data.len(), code.num_qubits());
+            assert_eq!(exposure.x_ancilla.len(), code.num_x_stabilizers());
+            assert_eq!(exposure.z_ancilla.len(), code.num_z_stabilizers());
+            for &t in exposure.data.iter() {
+                assert!(
+                    (0.0..=exposure.horizon).contains(&t),
+                    "x={x}: data exposure {t}"
+                );
+            }
+            // Every data qubit participates in gates, so exposure < horizon.
+            assert!(exposure.data.iter().all(|&t| t < exposure.horizon));
+            // Ancilla exposure is bounded by its own rotation, which is shorter
+            // than the full round.
+            assert!(exposure.x_ancilla.iter().all(|&t| t < exposure.horizon));
+        }
     }
 
     #[test]

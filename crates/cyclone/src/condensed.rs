@@ -26,7 +26,11 @@ pub struct TrapSweepPoint {
 
 /// Sweeps Cyclone over the given trap counts using tight capacities, returning one
 /// point per value of `x`.
-pub fn trap_capacity_sweep(code: &CssCode, trap_counts: &[usize], times: &OperationTimes) -> Vec<TrapSweepPoint> {
+pub fn trap_capacity_sweep(
+    code: &CssCode,
+    trap_counts: &[usize],
+    times: &OperationTimes,
+) -> Vec<TrapSweepPoint> {
     trap_counts
         .iter()
         .map(|&x| {
@@ -56,9 +60,11 @@ pub fn default_trap_counts(code: &CssCode) -> Vec<usize> {
 
 /// Returns the sweep point with the lowest execution time (the "ideal" Cyclone).
 pub fn best_configuration(points: &[TrapSweepPoint]) -> Option<&TrapSweepPoint> {
-    points
-        .iter()
-        .min_by(|a, b| a.execution_time.partial_cmp(&b.execution_time).expect("finite times"))
+    points.iter().min_by(|a, b| {
+        a.execution_time
+            .partial_cmp(&b.execution_time)
+            .expect("finite times")
+    })
 }
 
 #[cfg(test)]
@@ -94,7 +100,9 @@ mod tests {
         let times = OperationTimes::default();
         let points = trap_capacity_sweep(&code, &default_trap_counts(&code), &times);
         let best = best_configuration(&points).expect("nonempty sweep");
-        assert!(points.iter().all(|p| best.execution_time <= p.execution_time));
+        assert!(points
+            .iter()
+            .all(|p| best.execution_time <= p.execution_time));
     }
 
     #[test]

@@ -18,7 +18,9 @@
 use crate::registry::{standard_registry, Cyclone};
 use crate::sweep::{run_sweep, ScenarioSpec, SweepOptions, SweepResult};
 use decoder::memory::{logical_error_rate, LerEstimate, MemoryConfig};
+use noise::{ChannelSpec, ErrorChannel, HardwareNoiseModel, NoiseParameters};
 use qccd::compiler::codesign::BASELINE_CAPACITY as QCCD_BASELINE_CAPACITY;
+use qccd::compiler::IdleExposure;
 use qccd::compiler::{Codesign, CompiledRound};
 use qccd::timing::{OperationTimes, SwapKind};
 use qccd::topology::baseline_grid;
@@ -61,7 +63,10 @@ pub fn ler_for_round(
 /// the label is missing (labels used here are all registered).
 fn registered(label: &str) -> impl Fn(&CssCode, &OperationTimes) -> CompiledRound {
     let registry = standard_registry();
-    assert!(registry.get(label).is_some(), "codesign `{label}` not registered");
+    assert!(
+        registry.get(label).is_some(),
+        "codesign `{label}` not registered"
+    );
     let label = label.to_string();
     move |code, times| {
         registry
@@ -283,12 +288,14 @@ pub fn fig9_junction_sensitivity_with(
         .iter()
         .zip(mesh_times)
         .zip(&result.points[1..])
-        .map(|((&r, mesh_execution_time), outcome)| JunctionSensitivityRow {
-            reduction: r,
-            mesh_execution_time,
-            mesh_ler: outcome.ler,
-            baseline_ler,
-        })
+        .map(
+            |((&r, mesh_execution_time), outcome)| JunctionSensitivityRow {
+                reduction: r,
+                mesh_execution_time,
+                mesh_ler: outcome.ler,
+                baseline_ler,
+            },
+        )
         .collect()
 }
 
@@ -324,8 +331,17 @@ pub fn fig13_spec(
         let wrapper = Cyclone::condensed(x);
         let design = wrapper.instantiate(code);
         let round = design.compile(&times);
-        meta.push((design.num_traps(), design.trap_capacity(), round.execution_time));
-        spec.point(format!("{}/x={x}", wrapper.name()), idx, p, round.execution_time);
+        meta.push((
+            design.num_traps(),
+            design.trap_capacity(),
+            round.execution_time,
+        ));
+        spec.point(
+            format!("{}/x={x}", wrapper.name()),
+            idx,
+            p,
+            round.execution_time,
+        );
     }
     (spec, meta)
 }
@@ -352,12 +368,14 @@ pub fn fig13_trap_capacity_sweep_with(
     let result = run_sweep(&spec, options);
     meta.into_iter()
         .zip(&result.points)
-        .map(|((num_traps, trap_capacity, execution_time), outcome)| TrapSensitivityRow {
-            num_traps,
-            trap_capacity,
-            execution_time,
-            ler: outcome.ler,
-        })
+        .map(
+            |((num_traps, trap_capacity, execution_time), outcome)| TrapSensitivityRow {
+                num_traps,
+                trap_capacity,
+                execution_time,
+                ler: outcome.ler,
+            },
+        )
         .collect()
 }
 
@@ -425,7 +443,12 @@ pub fn ler_comparison(
     ps: &[f64],
     config: &MemoryConfig,
 ) -> Vec<LerComparisonRow> {
-    ler_comparison_with("ler_comparison", codes, ps, &SweepOptions::ephemeral(*config))
+    ler_comparison_with(
+        "ler_comparison",
+        codes,
+        ps,
+        &SweepOptions::ephemeral(*config),
+    )
 }
 
 /// [`ler_comparison`] with full sweep control; `figure` names the cache file
@@ -618,13 +641,15 @@ pub fn fig18_op_time_sweep_with(
         .iter()
         .zip(latencies)
         .zip(result.points.chunks(2))
-        .map(|((&r, (baseline_latency, cyclone_latency)), pair)| OpTimeSweepRow {
-            reduction: r,
-            baseline_ler: pair[0].ler,
-            cyclone_ler: pair[1].ler,
-            baseline_latency,
-            cyclone_latency,
-        })
+        .map(
+            |((&r, (baseline_latency, cyclone_latency)), pair)| OpTimeSweepRow {
+                reduction: r,
+                baseline_ler: pair[0].ler,
+                cyclone_ler: pair[1].ler,
+                baseline_latency,
+                cyclone_latency,
+            },
+        )
         .collect()
 }
 
@@ -701,7 +726,10 @@ pub const FIG20_COMPILERS: [(&str, &str); 4] = [
 
 /// Fig. 20: total and component-wise execution times of the three baseline compilers
 /// and Cyclone on the same code, plus the realized parallelization.
-pub fn fig20_compiler_comparison(code: &CssCode, times: &OperationTimes) -> Vec<CompilerComparisonRow> {
+pub fn fig20_compiler_comparison(
+    code: &CssCode,
+    times: &OperationTimes,
+) -> Vec<CompilerComparisonRow> {
     let registry = standard_registry();
     FIG20_COMPILERS
         .iter()
@@ -759,6 +787,114 @@ pub fn fig21_swap_sensitivity(code: &CssCode) -> Vec<SwapSensitivityRow> {
         }
     }
     rows
+}
+
+// ---------------------------------------------------------------------------
+// fig_hetero — channel-structured noise across the codesign registry
+// ---------------------------------------------------------------------------
+
+/// One row of the heterogeneous-noise scenario: a codesign evaluated under one
+/// error channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroRow {
+    /// Codesign label from the registry.
+    pub codesign: String,
+    /// Channel label: `"uniform"`, `"biased:<ratio>"`, or `"schedule"`.
+    pub channel: String,
+    /// Compiled round latency of the codesign, seconds.
+    pub latency: f64,
+    /// LER estimate under this channel.
+    pub ler: LerEstimate,
+}
+
+/// The measurement-bias ratios swept by the `fig_hetero` binary by default.
+pub const HETERO_DEFAULT_RATIOS: [f64; 3] = [0.5, 2.0, 8.0];
+
+/// Declares the heterogeneous-noise scenario: every codesign in the standard
+/// registry, sampled under (a) the uniform channel, (b) one biased channel per
+/// measurement-bias ratio, and (c) the schedule-derived channel built from the
+/// codesign's own per-qubit idle exposure ([`Codesign::compile_profiled`];
+/// codesigns without a profile fall back to uniform exposure). Returns the spec
+/// plus `(codesign, channel, latency)` row metadata in point order.
+pub fn fig_hetero_spec(
+    code: &CssCode,
+    p: f64,
+    ratios: &[f64],
+) -> (ScenarioSpec, Vec<(String, String, f64)>) {
+    let registry = standard_registry();
+    let times = OperationTimes::default();
+    let mut spec = ScenarioSpec::new("fig_hetero");
+    let idx = spec.code(code.clone());
+    let mut meta = Vec::new();
+    for design in registry.iter() {
+        let label = design.name().to_string();
+        let (round, exposure) = design.compile_profiled(code, &times);
+        let latency = round.execution_time;
+        spec.point_channel(
+            format!("{label}/uniform"),
+            idx,
+            p,
+            latency,
+            ChannelSpec::Uniform,
+        );
+        meta.push((label.clone(), "uniform".to_string(), latency));
+        for &r in ratios {
+            spec.point_channel(
+                format!("{label}/biased:{r}"),
+                idx,
+                p,
+                latency,
+                ChannelSpec::Biased { meas_ratio: r },
+            );
+            meta.push((label.clone(), format!("biased:{r}"), latency));
+        }
+        let exposure = exposure.unwrap_or_else(|| {
+            IdleExposure::uniform(
+                latency,
+                code.num_qubits(),
+                code.num_x_stabilizers(),
+                code.num_z_stabilizers(),
+            )
+        });
+        let model = HardwareNoiseModel::new(NoiseParameters::new(p), latency);
+        let channel =
+            ErrorChannel::from_schedule(&model, &exposure.data, &exposure.measurement_order());
+        spec.point_channel(
+            format!("{label}/schedule"),
+            idx,
+            p,
+            latency,
+            ChannelSpec::Explicit(channel),
+        );
+        meta.push((label, "schedule".to_string(), latency));
+    }
+    (spec, meta)
+}
+
+/// fig_hetero: logical error rate of every registered codesign under uniform,
+/// measurement-biased, and schedule-derived per-qubit channels at fixed `p`.
+pub fn fig_hetero(code: &CssCode, p: f64, ratios: &[f64], config: &MemoryConfig) -> Vec<HeteroRow> {
+    fig_hetero_with(code, p, ratios, &SweepOptions::ephemeral(*config))
+}
+
+/// [`fig_hetero`] with full sweep control (thread pool + cache).
+pub fn fig_hetero_with(
+    code: &CssCode,
+    p: f64,
+    ratios: &[f64],
+    options: &SweepOptions,
+) -> Vec<HeteroRow> {
+    let (spec, meta) = fig_hetero_spec(code, p, ratios);
+    let result = run_sweep(&spec, options);
+    meta.into_iter()
+        .zip(&result.points)
+        .map(|((codesign, channel, latency), outcome)| HeteroRow {
+            codesign,
+            channel,
+            latency,
+            ler: outcome.ler,
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -867,7 +1003,11 @@ mod tests {
         let code = tiny_hgp();
         let rows = fig16_spacetime(std::slice::from_ref(&code), &OperationTimes::default());
         assert_eq!(rows.len(), 1);
-        assert!(rows[0].improvement > 1.0, "Cyclone should win on spacetime, got {}", rows[0].improvement);
+        assert!(
+            rows[0].improvement > 1.0,
+            "Cyclone should win on spacetime, got {}",
+            rows[0].improvement
+        );
     }
 
     #[test]
@@ -884,7 +1024,10 @@ mod tests {
         let code = tiny_hgp();
         let rows = fig21_swap_sensitivity(&code);
         assert_eq!(rows.len(), 4);
-        let gate_cyc = rows.iter().find(|r| r.codesign == "cyclone" && r.swap_kind == "GateSwap").unwrap();
+        let gate_cyc = rows
+            .iter()
+            .find(|r| r.codesign == "cyclone" && r.swap_kind == "GateSwap")
+            .unwrap();
         assert!(gate_cyc.execution_time > 0.0);
     }
 
@@ -909,7 +1052,12 @@ mod tests {
     #[test]
     fn fig5_latency_rows_cover_speedups() {
         let code = tiny_hgp();
-        let rows = fig5_latency_vs_ler(std::slice::from_ref(&code), 5e-3, &[1.0, 2.0, 4.0], &quick_config());
+        let rows = fig5_latency_vs_ler(
+            std::slice::from_ref(&code),
+            5e-3,
+            &[1.0, 2.0, 4.0],
+            &quick_config(),
+        );
         assert_eq!(rows.len(), 3);
         assert!(rows[0].latency > rows[2].latency);
     }
@@ -921,6 +1069,33 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].baseline_ler.ler, rows[1].baseline_ler.ler);
         assert!(rows[1].mesh_execution_time < rows[0].mesh_execution_time);
+    }
+
+    #[test]
+    fn fig_hetero_covers_every_codesign_and_channel() {
+        let code = tiny_hgp();
+        let ratios = [4.0];
+        let rows = fig_hetero(&code, 8e-3, &ratios, &quick_config());
+        let registry = standard_registry();
+        // One uniform + one biased + one schedule row per registered codesign.
+        assert_eq!(rows.len(), registry.len() * (ratios.len() + 2));
+        for label in registry.labels() {
+            let of_label: Vec<_> = rows.iter().filter(|r| r.codesign == label).collect();
+            assert_eq!(of_label.len(), 3, "{label} rows missing");
+            assert!(of_label.iter().any(|r| r.channel == "uniform"));
+            assert!(of_label.iter().any(|r| r.channel == "biased:4"));
+            assert!(of_label.iter().any(|r| r.channel == "schedule"));
+            // All three channels share the codesign's compiled latency.
+            assert!(of_label.windows(2).all(|w| w[0].latency == w[1].latency));
+        }
+        // The uniform rows must match the plain scalar path (the engine threads
+        // the channel spec through without perturbing the uniform fast path).
+        let baseline_uniform = rows
+            .iter()
+            .find(|r| r.codesign == "baseline" && r.channel == "uniform")
+            .expect("baseline uniform row");
+        let direct = logical_error_rate(&code, 8e-3, baseline_uniform.latency, &quick_config());
+        assert_eq!(baseline_uniform.ler, direct);
     }
 
     #[test]

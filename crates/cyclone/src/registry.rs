@@ -8,7 +8,7 @@
 
 use crate::codesign::{CycloneCodesign, CycloneConfig};
 use qccd::compiler::codesign::qccd_codesigns;
-use qccd::compiler::{Codesign, CodesignRegistry, CompiledRound};
+use qccd::compiler::{Codesign, CodesignRegistry, CompiledRound, IdleExposure};
 use qccd::timing::OperationTimes;
 use qec::CssCode;
 
@@ -57,6 +57,15 @@ impl Codesign for Cyclone {
 
     fn compile(&self, code: &CssCode, times: &OperationTimes) -> CompiledRound {
         self.instantiate(code).compile(times)
+    }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let (round, exposure) = self.instantiate(code).compile_profiled(times);
+        (round, Some(exposure))
     }
 }
 

@@ -94,7 +94,11 @@ mod tests {
     #[test]
     fn hgp_and_bb_have_single_global_loop() {
         for code in [hgp_225_9_6().expect("valid"), bb_72_12_6().expect("valid")] {
-            assert!(!admits_independent_loops(&code), "{} unexpectedly splits", code.name());
+            assert!(
+                !admits_independent_loops(&code),
+                "{} unexpectedly splits",
+                code.name()
+            );
             assert_eq!(loop_decomposition(&code).len(), 1);
         }
     }

@@ -28,6 +28,7 @@
 use decoder::memory::{
     estimate_points_adaptive, LerEstimate, LerPoint, MemoryConfig, PrecisionTarget,
 };
+use noise::ChannelSpec;
 use qec::CssCode;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -35,10 +36,12 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Version tag written to cache files. Schema 2 added the `mode` header and
-/// meets-or-exceeds reuse of per-entry shot counts; schema-1 files (no `schema`
-/// field) are still readable — their entries carry per-point `shots`/`failures`
-/// already, which is all the reuse rules consult.
-const CACHE_SCHEMA: u64 = 2;
+/// meets-or-exceeds reuse of per-entry shot counts; schema 3 added the per-entry
+/// `channel` identity (see [`ChannelSpec::cache_id`]). Schema-1 and schema-2
+/// files stay readable unmigrated: entries carry per-point `shots`/`failures`
+/// already, and a missing `channel` field reads back as `"uniform"` — exactly
+/// the channel every pre-schema-3 point was sampled under.
+const CACHE_SCHEMA: u64 = 3;
 
 /// One Monte-Carlo operating point of a scenario sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +59,11 @@ pub struct OperatingPoint {
     /// own target, `None` defers to [`SweepOptions::precision`] (and to the fixed
     /// shot budget when that is `None` too).
     pub precision: Option<PrecisionTarget>,
+    /// Per-point error-channel override: `Some` samples this point under its own
+    /// channel spec, `None` defers to [`SweepOptions::channel`] (and to the
+    /// uniform channel when that is `None` too). The effective spec participates
+    /// in cache-point identity via [`ChannelSpec::cache_id`].
+    pub channel: Option<ChannelSpec>,
 }
 
 /// A declarative scenario sweep: the codes of one figure and every operating point
@@ -86,13 +94,14 @@ impl ScenarioSpec {
         self.codes.len() - 1
     }
 
-    /// Adds one operating point (sampled per [`SweepOptions::precision`]).
+    /// Adds one operating point (sampled per [`SweepOptions::precision`] under the
+    /// sweep's default channel).
     ///
     /// # Panics
     ///
     /// Panics if `code` is out of range or the id duplicates an earlier point's.
     pub fn point(&mut self, id: impl Into<String>, code: usize, p: f64, latency: f64) -> &mut Self {
-        self.push_point(id.into(), code, p, latency, None)
+        self.push_point(id.into(), code, p, latency, None, None)
     }
 
     /// Adds one operating point with its own [`PrecisionTarget`], overriding the
@@ -109,7 +118,24 @@ impl ScenarioSpec {
         latency: f64,
         target: PrecisionTarget,
     ) -> &mut Self {
-        self.push_point(id.into(), code, p, latency, Some(target))
+        self.push_point(id.into(), code, p, latency, Some(target), None)
+    }
+
+    /// Adds one operating point with its own [`ChannelSpec`], overriding the
+    /// sweep-level default channel for just this point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range or the id duplicates an earlier point's.
+    pub fn point_channel(
+        &mut self,
+        id: impl Into<String>,
+        code: usize,
+        p: f64,
+        latency: f64,
+        channel: ChannelSpec,
+    ) -> &mut Self {
+        self.push_point(id.into(), code, p, latency, None, Some(channel))
     }
 
     fn push_point(
@@ -119,13 +145,21 @@ impl ScenarioSpec {
         p: f64,
         latency: f64,
         precision: Option<PrecisionTarget>,
+        channel: Option<ChannelSpec>,
     ) -> &mut Self {
         assert!(code < self.codes.len(), "code index {code} out of range");
         assert!(
             self.points.iter().all(|pt| pt.id != id),
             "duplicate point id `{id}`"
         );
-        self.points.push(OperatingPoint { id, code, p, latency, precision });
+        self.points.push(OperatingPoint {
+            id,
+            code,
+            p,
+            latency,
+            precision,
+            channel,
+        });
         self
     }
 }
@@ -144,6 +178,10 @@ pub struct SweepOptions {
     /// sampling; `None` keeps the fixed `config.shots` budget, bit-identical to the
     /// engine before adaptive sampling existed.
     pub precision: Option<PrecisionTarget>,
+    /// Default error channel: `Some` samples every point (without its own
+    /// [`OperatingPoint::channel`] override) under this spec; `None` keeps the
+    /// uniform channel, bit-identical to the engine before channels existed.
+    pub channel: Option<ChannelSpec>,
 }
 
 impl SweepOptions {
@@ -154,6 +192,7 @@ impl SweepOptions {
             config,
             cache_dir: None,
             precision: None,
+            channel: None,
         }
     }
 
@@ -163,6 +202,7 @@ impl SweepOptions {
             config,
             cache_dir: Some(dir.into()),
             precision: None,
+            channel: None,
         }
     }
 
@@ -173,10 +213,29 @@ impl SweepOptions {
         self
     }
 
+    /// Samples every point (without its own override) under `channel`
+    /// (builder style).
+    pub fn with_channel(mut self, channel: ChannelSpec) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
     /// The effective sampling target of one spec point (its override, else the
     /// sweep default; `None` = fixed shot budget).
     fn target_for(&self, point: &OperatingPoint) -> Option<PrecisionTarget> {
         point.precision.or(self.precision)
+    }
+
+    /// The effective channel spec of one spec point (its override, else the sweep
+    /// default; `None` = uniform).
+    fn channel_for<'a>(&'a self, point: &'a OperatingPoint) -> Option<&'a ChannelSpec> {
+        point.channel.as_ref().or(self.channel.as_ref())
+    }
+
+    /// The cache identity of one spec point's effective channel.
+    fn channel_id_for(&self, point: &OperatingPoint) -> String {
+        self.channel_for(point)
+            .map_or_else(|| ChannelSpec::Uniform.cache_id(), ChannelSpec::cache_id)
     }
 }
 
@@ -271,6 +330,7 @@ pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
                 code: &spec.codes[point.code],
                 p: point.p,
                 latency: point.latency,
+                channel: options.channel_for(point),
             }
         })
         .collect();
@@ -382,6 +442,18 @@ fn load_cache(
         if p != point.p || latency != point.latency || shots == 0 {
             continue;
         }
+        // Channel identity (schema 3): an entry is reusable only for the channel
+        // it was sampled under. Schema-1/2 entries carry no `channel` field and
+        // read back as "uniform" — the channel every pre-schema-3 point used — so
+        // old caches keep hitting for uniform requests and are correctly
+        // invalidated for structured ones.
+        let entry_channel = entry
+            .get("channel")
+            .and_then(Value::as_str)
+            .unwrap_or("uniform");
+        if entry_channel != options.channel_id_for(point) {
+            continue;
+        }
         let (shots, failures) = (shots as usize, failures as usize);
         let reuse = match options.target_for(point) {
             // Fixed budget: the exact shot count, as before adaptive sampling.
@@ -411,10 +483,17 @@ fn store_cache(
     root.insert("figure".to_string(), Value::from(spec.figure.clone()));
     root.insert("seed".to_string(), Value::from(config.seed.to_string()));
     root.insert("shots".to_string(), Value::from(config.shots));
-    root.insert("bp_iterations".to_string(), Value::from(config.bp_iterations));
+    root.insert(
+        "bp_iterations".to_string(),
+        Value::from(config.bp_iterations),
+    );
     root.insert(
         "mode".to_string(),
-        Value::from(if options.precision.is_some() { "adaptive" } else { "fixed" }),
+        Value::from(if options.precision.is_some() {
+            "adaptive"
+        } else {
+            "fixed"
+        }),
     );
     if let Some(target) = &options.precision {
         root.insert("target_rse".to_string(), Value::Number(target.target_rse));
@@ -424,11 +503,16 @@ fn store_cache(
     let entries: Vec<Value> = result
         .points
         .iter()
-        .map(|point| {
+        .zip(&spec.points)
+        .map(|(point, spec_point)| {
             let mut entry = BTreeMap::new();
             entry.insert("id".to_string(), Value::from(point.id.clone()));
             entry.insert("p".to_string(), Value::Number(point.p));
             entry.insert("latency".to_string(), Value::Number(point.latency));
+            entry.insert(
+                "channel".to_string(),
+                Value::from(options.channel_id_for(spec_point)),
+            );
             // `shots` records what was actually spent on the point (which varies
             // per point under adaptive sampling), never the configured budget.
             entry.insert("shots".to_string(), Value::from(point.ler.shots));
@@ -458,7 +542,9 @@ fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
     }
     let file_name = path
         .file_name()
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name"))?
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+        })?
         .to_string_lossy()
         .into_owned();
     let tmp_name = format!(
@@ -514,7 +600,11 @@ mod tests {
                 point.latency,
                 &config,
             );
-            assert_eq!(outcome.ler.failures, direct.failures, "{} diverged", point.id);
+            assert_eq!(
+                outcome.ler.failures, direct.failures,
+                "{} diverged",
+                point.id
+            );
             assert_eq!(outcome.ler.ler, direct.ler);
             assert!(!outcome.cached);
         }

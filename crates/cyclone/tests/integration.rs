@@ -45,7 +45,10 @@ fn end_to_end_cyclone_beats_baseline_on_bb72() {
     assert!(cyc.num_traps < base.num_traps);
     assert_eq!(cyc.num_ancilla * 2, base.num_ancilla);
     assert_eq!(cyc.roadblock_events, 0);
-    assert!(base.roadblock_events > 0, "the baseline should hit roadblocks");
+    assert!(
+        base.roadblock_events > 0,
+        "the baseline should hit roadblocks"
+    );
 
     // Logical-error claim: at a fixed p in the interesting regime Cyclone's LER is
     // no worse than the baseline's (with modest statistics we only require <=).
@@ -105,8 +108,14 @@ fn spacetime_improvement_holds_for_both_families() {
 fn compiler_comparison_shows_cyclone_most_parallel() {
     let code = bb_72_12_6().expect("valid");
     let rows = fig20_compiler_comparison(&code, &OperationTimes::default());
-    let cyclone = rows.iter().find(|r| r.compiler == "Cyclone").expect("present");
-    let baseline = rows.iter().find(|r| r.compiler.starts_with("Baseline (")).expect("present");
+    let cyclone = rows
+        .iter()
+        .find(|r| r.compiler == "Cyclone")
+        .expect("present");
+    let baseline = rows
+        .iter()
+        .find(|r| r.compiler.starts_with("Baseline ("))
+        .expect("present");
     assert!(
         cyclone.execution_time < baseline.execution_time,
         "Cyclone should realize a faster schedule"

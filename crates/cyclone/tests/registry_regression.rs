@@ -33,11 +33,18 @@ fn legacy_compile(label: &str, code: &CssCode, times: &OperationTimes) -> Compil
     let n = code.num_qubits();
     match label {
         "baseline" => compile_baseline(code, &baseline_grid(n, CAP), times, &serial_schedule(code)),
-        "baseline2" => compile_baseline2(code, &baseline_grid(n, CAP), times, &serial_schedule(code)),
-        "baseline3" => compile_baseline3(code, &baseline_grid(n, CAP), times, &serial_schedule(code)),
-        "dynamic-grid" => {
-            compile_dynamic(code, &baseline_grid(n, CAP), times, &max_parallel_schedule(code))
+        "baseline2" => {
+            compile_baseline2(code, &baseline_grid(n, CAP), times, &serial_schedule(code))
         }
+        "baseline3" => {
+            compile_baseline3(code, &baseline_grid(n, CAP), times, &serial_schedule(code))
+        }
+        "dynamic-grid" => compile_dynamic(
+            code,
+            &baseline_grid(n, CAP),
+            times,
+            &max_parallel_schedule(code),
+        ),
         "dynamic-mesh" => compile_dynamic(
             code,
             &mesh_junction_network(n, CAP),
@@ -49,7 +56,12 @@ fn legacy_compile(label: &str, code: &CssCode, times: &OperationTimes) -> Compil
         }
         "ring-static" => {
             let a = code.num_x_stabilizers().max(code.num_z_stabilizers());
-            compile_baseline(code, &ring(a, n.div_ceil(a) + 2), times, &serial_schedule(code))
+            compile_baseline(
+                code,
+                &ring(a, n.div_ceil(a) + 2),
+                times,
+                &serial_schedule(code),
+            )
         }
         "cyclone" => CycloneCodesign::new(code, CycloneConfig::base()).compile(times),
         other => {

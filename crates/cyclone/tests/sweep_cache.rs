@@ -5,6 +5,7 @@
 use cyclone::standard_registry;
 use cyclone::sweep::{run_sweep, ScenarioSpec, SweepOptions};
 use decoder::memory::{MemoryConfig, PrecisionTarget};
+use noise::{ChannelSpec, ErrorChannel};
 use std::path::PathBuf;
 
 fn quick_config(threads: usize) -> MemoryConfig {
@@ -59,7 +60,10 @@ fn cache_round_trip_serves_identical_estimates() {
     let first = run_sweep(&spec, &options);
     assert_eq!(first.computed, 4);
     assert_eq!(first.cache_hits, 0);
-    assert!(dir.join("roundtrip.json").is_file(), "cache file must be written");
+    assert!(
+        dir.join("roundtrip.json").is_file(),
+        "cache file must be written"
+    );
 
     let second = run_sweep(&spec, &options);
     assert_eq!(second.cache_hits, 4, "second run must be fully cached");
@@ -67,7 +71,10 @@ fn cache_round_trip_serves_identical_estimates() {
     for (a, b) in first.points.iter().zip(&second.points) {
         assert_eq!(a.ler.failures, b.ler.failures);
         assert_eq!(a.ler.ler, b.ler.ler);
-        assert_eq!(a.ler.std_err, b.ler.std_err, "reconstructed estimate must round-trip");
+        assert_eq!(
+            a.ler.std_err, b.ler.std_err,
+            "reconstructed estimate must round-trip"
+        );
         assert!(b.cached);
     }
     let _ = std::fs::remove_dir_all(&dir);
@@ -83,13 +90,22 @@ fn corrupt_cache_falls_back_to_recompute() {
     // Truncated JSON → full recompute, and the file is repaired afterwards.
     std::fs::write(dir.join("corrupt.json"), "{\"figure\": \"corrupt\", \"poi").expect("write");
     let after_corruption = run_sweep(&spec, &options);
-    assert_eq!(after_corruption.cache_hits, 0, "corrupt cache must not serve hits");
+    assert_eq!(
+        after_corruption.cache_hits, 0,
+        "corrupt cache must not serve hits"
+    );
     assert_eq!(after_corruption.computed, 4);
     for (a, b) in first.points.iter().zip(&after_corruption.points) {
-        assert_eq!(a.ler.ler, b.ler.ler, "recompute must reproduce the original estimate");
+        assert_eq!(
+            a.ler.ler, b.ler.ler,
+            "recompute must reproduce the original estimate"
+        );
     }
     let repaired = run_sweep(&spec, &options);
-    assert_eq!(repaired.cache_hits, 4, "cache file must be rewritten after corruption");
+    assert_eq!(
+        repaired.cache_hits, 4,
+        "cache file must be rewritten after corruption"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -102,7 +118,13 @@ fn changed_configuration_invalidates_the_cache() {
     // More shots → the quick-run cache must not satisfy the full-shot run.
     let full = run_sweep(
         &spec,
-        &SweepOptions::cached(MemoryConfig { shots: 90, ..quick_config(2) }, &dir),
+        &SweepOptions::cached(
+            MemoryConfig {
+                shots: 90,
+                ..quick_config(2)
+            },
+            &dir,
+        ),
     );
     assert_eq!(full.cache_hits, 0);
     assert!(full.points.iter().all(|p| p.ler.shots == 90));
@@ -126,7 +148,10 @@ fn changed_operating_point_recomputes_only_that_point() {
     let result = run_sweep(&moved, &SweepOptions::cached(quick_config(2), &dir));
     assert_eq!(result.cache_hits, 3);
     assert_eq!(result.computed, 1);
-    assert!(!result.points[1].cached, "the moved point must be recomputed");
+    assert!(
+        !result.points[1].cached,
+        "the moved point must be recomputed"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -142,7 +167,10 @@ fn cache_validates_seeds_above_f64_precision() {
     };
     run_sweep(&spec, &SweepOptions::cached(config, &dir));
     let second = run_sweep(&spec, &SweepOptions::cached(config, &dir));
-    assert_eq!(second.cache_hits, 4, "odd 54-bit seed must round-trip the cache");
+    assert_eq!(
+        second.cache_hits, 4,
+        "odd 54-bit seed must round-trip the cache"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -174,11 +202,25 @@ fn loose_target() -> PrecisionTarget {
 fn adaptive_sweep_is_deterministic_across_pool_sizes_and_matches_direct_runs() {
     let spec = noisy_spec("adaptive-det");
     let target = loose_target();
-    let one = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(1)).with_precision(target));
-    let four = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(4)).with_precision(target));
+    let one = run_sweep(
+        &spec,
+        &SweepOptions::ephemeral(quick_config(1)).with_precision(target),
+    );
+    let four = run_sweep(
+        &spec,
+        &SweepOptions::ephemeral(quick_config(4)).with_precision(target),
+    );
     for (a, b) in one.points.iter().zip(&four.points) {
-        assert_eq!(a.ler, b.ler, "adaptive point {} diverged across pool sizes", a.id);
-        assert!(a.ler.shots < 2_000, "high-failure point {} should stop early", a.id);
+        assert_eq!(
+            a.ler, b.ler,
+            "adaptive point {} diverged across pool sizes",
+            a.id
+        );
+        assert!(
+            a.ler.shots < 2_000,
+            "high-failure point {} should stop early",
+            a.id
+        );
         assert!(target.met_by(a.ler.shots, a.ler.failures));
     }
     // Each adaptive estimate is the fixed estimate of its own shot count (the
@@ -188,9 +230,16 @@ fn adaptive_sweep_is_deterministic_across_pool_sizes_and_matches_direct_runs() {
             &spec.codes[point.code],
             point.p,
             point.latency,
-            &MemoryConfig { shots: outcome.ler.shots, ..quick_config(1) },
+            &MemoryConfig {
+                shots: outcome.ler.shots,
+                ..quick_config(1)
+            },
         );
-        assert_eq!(outcome.ler, fixed, "{} is not a prefix of the fixed path", point.id);
+        assert_eq!(
+            outcome.ler, fixed,
+            "{} is not a prefix of the fixed path",
+            point.id
+        );
     }
 }
 
@@ -209,7 +258,11 @@ fn disabled_precision_pins_the_fixed_path_bit_identically() {
             point.latency,
             &config,
         );
-        assert_eq!(outcome.ler, direct, "point {} diverged from the fixed path", point.id);
+        assert_eq!(
+            outcome.ler, direct,
+            "point {} diverged from the fixed path",
+            point.id
+        );
         assert_eq!(outcome.ler.shots, config.shots);
     }
 }
@@ -227,7 +280,10 @@ fn adaptive_request_reuses_sufficiently_precise_cache_entries() {
 
     // ... which a second adaptive run reuses wholesale ...
     let second = run_sweep(&spec, &adaptive);
-    assert_eq!(second.cache_hits, 2, "meets-or-exceeds entries must be reused");
+    assert_eq!(
+        second.cache_hits, 2,
+        "meets-or-exceeds entries must be reused"
+    );
     for (a, b) in first.points.iter().zip(&second.points) {
         assert_eq!(a.ler, b.ler);
     }
@@ -241,7 +297,10 @@ fn adaptive_request_reuses_sufficiently_precise_cache_entries() {
     let tighter = SweepOptions::cached(quick_config(2), &dir)
         .with_precision(PrecisionTarget::new(0.05, 400, 4_000));
     let retightened = run_sweep(&spec, &tighter);
-    assert_eq!(retightened.cache_hits, 0, "looser cached points must not satisfy a tighter target");
+    assert_eq!(
+        retightened.cache_hits, 0,
+        "looser cached points must not satisfy a tighter target"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -249,7 +308,10 @@ fn adaptive_request_reuses_sufficiently_precise_cache_entries() {
 fn fixed_full_shot_cache_serves_adaptive_requests_but_not_vice_versa() {
     let dir = scratch_dir("adaptive-cross");
     let spec = noisy_spec("adaptive-cross");
-    let config = MemoryConfig { shots: 400, ..quick_config(2) };
+    let config = MemoryConfig {
+        shots: 400,
+        ..quick_config(2)
+    };
 
     // A fixed 400-shot run at p=4e-2 sees ~30+ failures — precise enough for the
     // loose target, so the adaptive request is served from the fixed cache.
@@ -257,7 +319,10 @@ fn fixed_full_shot_cache_serves_adaptive_requests_but_not_vice_versa() {
     assert!(fixed_run.points.iter().all(|p| p.ler.failures >= 6));
     let adaptive = SweepOptions::cached(config, &dir).with_precision(loose_target());
     let served = run_sweep(&spec, &adaptive);
-    assert_eq!(served.cache_hits, 2, "full-shot entries meet the target and must be reused");
+    assert_eq!(
+        served.cache_hits, 2,
+        "full-shot entries meet the target and must be reused"
+    );
     for (a, b) in fixed_run.points.iter().zip(&served.points) {
         assert_eq!(a.ler, b.ler);
     }
@@ -266,9 +331,18 @@ fn fixed_full_shot_cache_serves_adaptive_requests_but_not_vice_versa() {
     // with a different budget must recompute rather than accept them.
     let other_budget = run_sweep(
         &spec,
-        &SweepOptions::cached(MemoryConfig { shots: 90, ..config }, &dir),
+        &SweepOptions::cached(
+            MemoryConfig {
+                shots: 90,
+                ..config
+            },
+            &dir,
+        ),
     );
-    assert_eq!(other_budget.cache_hits, 0, "fixed requests require the exact budget");
+    assert_eq!(
+        other_budget.cache_hits, 0,
+        "fixed requests require the exact budget"
+    );
     assert!(other_budget.points.iter().all(|p| p.ler.shots == 90));
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -281,8 +355,14 @@ fn per_point_precision_overrides_the_sweep_default() {
     spec.point_precise("adaptive", bb, 4e-2, 0.0, loose_target());
     let config = quick_config(2);
     let result = run_sweep(&spec, &SweepOptions::ephemeral(config));
-    assert_eq!(result.points[0].ler.shots, config.shots, "unannotated point stays fixed");
-    assert_ne!(result.points[1].ler.shots, config.shots, "annotated point samples adaptively");
+    assert_eq!(
+        result.points[0].ler.shots, config.shots,
+        "unannotated point stays fixed"
+    );
+    assert_ne!(
+        result.points[1].ler.shots, config.shots,
+        "annotated point samples adaptively"
+    );
     assert!(loose_target().met_by(result.points[1].ler.shots, result.points[1].ler.failures));
 }
 
@@ -292,12 +372,21 @@ fn zero_shot_sweep_produces_empty_estimates_not_phantoms() {
     // fabricate 1-shot estimates, and its cache entries must never be reused.
     let dir = scratch_dir("zeroshot");
     let spec = tiny_spec("zeroshot");
-    let options = SweepOptions::cached(MemoryConfig { shots: 0, ..quick_config(2) }, &dir);
+    let options = SweepOptions::cached(
+        MemoryConfig {
+            shots: 0,
+            ..quick_config(2)
+        },
+        &dir,
+    );
     let result = run_sweep(&spec, &options);
     assert!(result.points.iter().all(|p| p.ler.is_empty()));
     assert!(result.points.iter().all(|p| !p.ler.is_upper_bound()));
     let again = run_sweep(&spec, &options);
-    assert_eq!(again.cache_hits, 0, "zero-shot entries must never be served from cache");
+    assert_eq!(
+        again.cache_hits, 0,
+        "zero-shot entries must never be served from cache"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -317,7 +406,12 @@ fn concurrent_writers_never_tear_the_cache_file() {
             spec
         };
         let options = SweepOptions::cached(
-            MemoryConfig { shots: 4, seed, threads: 1, ..quick_config(1) },
+            MemoryConfig {
+                shots: 4,
+                seed,
+                threads: 1,
+                ..quick_config(1)
+            },
             &dir,
         );
         for _ in 0..12 {
@@ -346,7 +440,10 @@ fn concurrent_writers_never_tear_the_cache_file() {
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         let observed = reader.join().expect("reader");
-        assert!(observed > 0, "reader must have observed the cache file at least once");
+        assert!(
+            observed > 0,
+            "reader must have observed the cache file at least once"
+        );
     });
     // No stray temp files: every write either published or cleaned up.
     let leftovers: Vec<_> = std::fs::read_dir(&dir)
@@ -355,8 +452,194 @@ fn concurrent_writers_never_tear_the_cache_file() {
         .map(|e| e.file_name().to_string_lossy().into_owned())
         .filter(|name| name.contains(".tmp."))
         .collect();
-    assert!(leftovers.is_empty(), "stray temp files left behind: {leftovers:?}");
+    assert!(
+        leftovers.is_empty(),
+        "stray temp files left behind: {leftovers:?}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn schema3_channel_entries_round_trip() {
+    // A structured-channel sweep writes schema-3 entries whose channel identity is
+    // honored on re-read: same spec → full hits, identical estimates.
+    let dir = scratch_dir("channel-roundtrip");
+    let spec = noisy_spec("channel-roundtrip");
+    let biased = SweepOptions::cached(quick_config(2), &dir)
+        .with_channel(ChannelSpec::Biased { meas_ratio: 2.0 });
+    let first = run_sweep(&spec, &biased);
+    assert_eq!(first.computed, 2);
+    let text = std::fs::read_to_string(dir.join("channel-roundtrip.json")).expect("cache written");
+    let doc = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(serde_json::Value::as_u64),
+        Some(3)
+    );
+    assert!(
+        text.contains("\"channel\":\"biased:2\""),
+        "entries must record the channel id: {text}"
+    );
+
+    let second = run_sweep(&spec, &biased);
+    assert_eq!(
+        second.cache_hits, 2,
+        "same channel must be served from cache"
+    );
+    for (a, b) in first.points.iter().zip(&second.points) {
+        assert_eq!(a.ler, b.ler);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn channel_mismatch_invalidates_cached_points() {
+    let dir = scratch_dir("channel-mismatch");
+    let spec = noisy_spec("channel-mismatch");
+    let config = quick_config(2);
+
+    // Uniform entries do not serve a biased request ...
+    run_sweep(&spec, &SweepOptions::cached(config, &dir));
+    let biased =
+        SweepOptions::cached(config, &dir).with_channel(ChannelSpec::Biased { meas_ratio: 3.0 });
+    let crossed = run_sweep(&spec, &biased);
+    assert_eq!(
+        crossed.cache_hits, 0,
+        "uniform entries must not satisfy a biased request"
+    );
+
+    // ... a biased cache does not serve a different ratio or a uniform request ...
+    let other_ratio =
+        SweepOptions::cached(config, &dir).with_channel(ChannelSpec::Biased { meas_ratio: 0.5 });
+    assert_eq!(run_sweep(&spec, &other_ratio).cache_hits, 0);
+    let uniform_again = run_sweep(&spec, &SweepOptions::cached(config, &dir));
+    assert_eq!(
+        uniform_again.cache_hits, 0,
+        "biased entries must not satisfy a uniform request"
+    );
+
+    // ... and two explicit channels with different rates have distinct identities.
+    let code = qec::codes::bb_72_12_6().expect("valid");
+    let (n, m) = (code.num_qubits(), code.num_stabilizers());
+    let explicit_a = SweepOptions::cached(config, &dir).with_channel(ChannelSpec::Explicit(
+        ErrorChannel::biased(n, m, 0.04, 0.01),
+    ));
+    let explicit_b = SweepOptions::cached(config, &dir).with_channel(ChannelSpec::Explicit(
+        ErrorChannel::biased(n, m, 0.04, 0.02),
+    ));
+    let a1 = run_sweep(&spec, &explicit_a);
+    assert_eq!(a1.cache_hits, 0);
+    assert_eq!(
+        run_sweep(&spec, &explicit_a).cache_hits,
+        2,
+        "identical explicit channel must hit"
+    );
+    assert_eq!(
+        run_sweep(&spec, &explicit_b).cache_hits,
+        0,
+        "different rates, different digest"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn biased_points_see_more_failures_than_uniform_under_the_same_seeds() {
+    // End-to-end sanity of the channel plumbing through the engine: measurement
+    // noise makes decoding strictly harder at matched data rates.
+    let spec = noisy_spec("channel-effect");
+    let config = quick_config(2);
+    let uniform = run_sweep(&spec, &SweepOptions::ephemeral(config));
+    let biased = run_sweep(
+        &spec,
+        &SweepOptions::ephemeral(config).with_channel(ChannelSpec::Biased { meas_ratio: 10.0 }),
+    );
+    let uniform_failures: usize = uniform.points.iter().map(|p| p.ler.failures).sum();
+    let biased_failures: usize = biased.points.iter().map(|p| p.ler.failures).sum();
+    assert!(
+        biased_failures > uniform_failures,
+        "heavy measurement bias ({biased_failures}) should exceed uniform ({uniform_failures})"
+    );
+}
+
+/// Writes a hand-crafted pre-schema-3 cache file (optionally with a `schema` header,
+/// as schema 2 had; schema 1 had none) whose entries carry no `channel` field.
+fn write_legacy_cache(
+    dir: &std::path::Path,
+    figure: &str,
+    schema: Option<u64>,
+    config: &MemoryConfig,
+) {
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let schema_field = schema.map_or(String::new(), |s| format!("\"schema\":{s},"));
+    let text = format!(
+        "{{{schema_field}\"figure\":\"{figure}\",\"seed\":\"{}\",\"shots\":{},\"bp_iterations\":{},\
+         \"points\":[\
+         {{\"id\":\"bb/p=4e-2\",\"p\":0.04,\"latency\":0,\"shots\":{},\"failures\":9,\"ler\":0.15,\"std_err\":0.046}},\
+         {{\"id\":\"bb/p=6e-2\",\"p\":0.06,\"latency\":0,\"shots\":{},\"failures\":21,\"ler\":0.35,\"std_err\":0.061}}\
+         ]}}\n",
+        config.seed, config.shots, config.bp_iterations, config.shots, config.shots
+    );
+    std::fs::write(dir.join(format!("{figure}.json")), text).expect("write legacy cache");
+}
+
+#[test]
+fn legacy_schema_1_and_2_caches_serve_uniform_requests_only() {
+    // Pre-channel cache files (schema 1: no header at all; schema 2: header but no
+    // per-entry channel) stay readable unmigrated: their entries were all sampled
+    // under the uniform channel, so they hit for uniform requests and are
+    // invalidated for structured ones.
+    let config = quick_config(2);
+    for (name, schema) in [("legacy-s1", None), ("legacy-s2", Some(2u64))] {
+        let dir = scratch_dir(name);
+        let spec = noisy_spec(name);
+        write_legacy_cache(&dir, name, schema, &config);
+
+        let uniform = run_sweep(&spec, &SweepOptions::cached(config, &dir));
+        assert_eq!(
+            uniform.cache_hits, 2,
+            "{name}: legacy entries must serve uniform requests"
+        );
+        assert_eq!(
+            uniform.points[0].ler.failures, 9,
+            "{name}: counts come from the legacy file"
+        );
+        assert_eq!(uniform.points[1].ler.failures, 21);
+
+        write_legacy_cache(&dir, name, schema, &config);
+        let biased = run_sweep(
+            &spec,
+            &SweepOptions::cached(config, &dir)
+                .with_channel(ChannelSpec::Biased { meas_ratio: 2.0 }),
+        );
+        assert_eq!(
+            biased.cache_hits, 0,
+            "{name}: legacy entries must not serve structured requests"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn per_point_channel_overrides_the_sweep_default() {
+    let mut spec = ScenarioSpec::new("per-point-channel");
+    let bb = spec.code(qec::codes::bb_72_12_6().expect("valid"));
+    spec.point("uniform", bb, 4e-2, 0.0);
+    spec.point_channel(
+        "biased",
+        bb,
+        4e-2,
+        0.0,
+        ChannelSpec::Biased { meas_ratio: 10.0 },
+    );
+    let result = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(2)));
+    let direct = decoder::memory::logical_error_rate(&spec.codes[0], 4e-2, 0.0, &quick_config(2));
+    assert_eq!(
+        result.points[0].ler, direct,
+        "unannotated point stays uniform"
+    );
+    assert!(
+        result.points[1].ler.failures > result.points[0].ler.failures,
+        "annotated point samples under its own biased channel"
+    );
 }
 
 #[test]

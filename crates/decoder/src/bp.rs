@@ -133,12 +133,17 @@ impl BeliefPropagation {
             scratch.channel_llr.clear();
             scratch.channel_llr.resize(n, llr);
             scratch.cached_uniform = Some((p, n));
+            scratch.cached_priors.clear();
         }
         self.propagate(syndrome, scratch)
     }
 
     /// Runs BP with per-bit prior error probabilities, borrowing all working buffers
     /// from `scratch` (see [`BeliefPropagation::decode_into`]).
+    ///
+    /// The LLR conversion is cached against the exact priors vector, so repeated
+    /// decodes with the same priors (the structured-channel Monte-Carlo steady
+    /// state) pay one equality scan instead of one `ln` per bit.
     ///
     /// # Panics
     ///
@@ -151,12 +156,16 @@ impl BeliefPropagation {
     ) -> BpStatus {
         let n = self.h.num_cols();
         assert_eq!(priors.len(), n, "one prior per variable required");
-        scratch.cached_uniform = None;
-        scratch.channel_llr.clear();
-        scratch.channel_llr.extend(priors.iter().map(|&p| {
-            assert!(p > 0.0 && p < 1.0, "priors must be in (0,1)");
-            ((1.0 - p) / p).ln()
-        }));
+        if scratch.cached_priors != priors {
+            scratch.cached_uniform = None;
+            scratch.channel_llr.clear();
+            scratch.channel_llr.extend(priors.iter().map(|&p| {
+                assert!(p > 0.0 && p < 1.0, "priors must be in (0,1)");
+                ((1.0 - p) / p).ln()
+            }));
+            scratch.cached_priors.clear();
+            scratch.cached_priors.extend_from_slice(priors);
+        }
         self.propagate(syndrome, scratch)
     }
 
@@ -168,7 +177,11 @@ impl BeliefPropagation {
         let m = self.h.num_rows();
         let n = self.h.num_cols();
         let graph = &self.graph;
-        assert_eq!(syndrome.len(), m, "syndrome length must equal number of checks");
+        assert_eq!(
+            syndrome.len(),
+            m,
+            "syndrome length must equal number of checks"
+        );
 
         let num_edges = graph.num_edges();
         scratch.check_to_var.clear();
@@ -369,5 +382,49 @@ mod tests {
         assert_eq!(a.iterations, c.iterations);
         assert_eq!(scratch.error(), bp.decode(&s, 0.05).error.as_slice());
         assert!(b.converged);
+    }
+
+    #[test]
+    fn priors_llr_cache_hits_and_invalidates() {
+        // The per-bit-priors LLR conversion is cached against the exact priors
+        // vector; repeated decodes with the same priors hit, and any interleaving
+        // with different priors or a uniform decode rebuilds correctly.
+        let h = repetition_check(5);
+        let bp = BeliefPropagation::new(h.clone(), 20);
+        let mut e = vec![false; 5];
+        e[1] = true;
+        let s = h.syndrome(&e);
+        let priors_a = vec![0.05, 0.05, 0.2, 0.05, 0.05];
+        let priors_b = vec![0.01; 5];
+        let mut scratch = DecoderScratch::new();
+
+        let first = bp.decode_with_priors_into(&s, &priors_a, &mut scratch);
+        let llr_after_first = scratch.channel_llr.clone();
+        // Same priors again: the cached LLRs are reused and the result is stable.
+        let second = bp.decode_with_priors_into(&s, &priors_a, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(scratch.channel_llr, llr_after_first);
+        assert_eq!(
+            scratch.error(),
+            bp.decode_with_priors(&s, &priors_a).error.as_slice()
+        );
+
+        // Different priors must rebuild ...
+        let _ = bp.decode_with_priors_into(&s, &priors_b, &mut scratch);
+        assert_eq!(
+            scratch.error(),
+            bp.decode_with_priors(&s, &priors_b).error.as_slice()
+        );
+        // ... a uniform decode in between must invalidate the priors cache ...
+        let _ = bp.decode_into(&s, 0.05, &mut scratch);
+        let after_uniform = bp.decode_with_priors_into(&s, &priors_a, &mut scratch);
+        assert_eq!(after_uniform, first);
+        assert_eq!(
+            scratch.error(),
+            bp.decode_with_priors(&s, &priors_a).error.as_slice()
+        );
+        // ... and the uniform cache still works after priors decodes.
+        let _ = bp.decode_into(&s, 0.05, &mut scratch);
+        assert_eq!(scratch.error(), bp.decode(&s, 0.05).error.as_slice());
     }
 }

@@ -99,6 +99,36 @@ impl BpOsdDecoder {
         scratch: &mut DecoderScratch,
     ) -> DecodeStatus {
         let bp_status = self.bp.decode_into(syndrome, p, scratch);
+        self.finish_decode(syndrome, bp_status, scratch)
+    }
+
+    /// Scratch-borrowing BP+OSD decode with per-bit prior error probabilities: the
+    /// channel-structured counterpart of [`BpOsdDecoder::decode_into`]. With all
+    /// priors equal this computes exactly what the uniform path computes (pinned by
+    /// a property test over the code catalog), but skips its cached-LLR fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match the number of checks, or
+    /// `priors` is not one-per-column in `(0, 1)`.
+    pub fn decode_with_priors_into(
+        &self,
+        syndrome: &[bool],
+        priors: &[f64],
+        scratch: &mut DecoderScratch,
+    ) -> DecodeStatus {
+        let bp_status = self.bp.decode_with_priors_into(syndrome, priors, scratch);
+        self.finish_decode(syndrome, bp_status, scratch)
+    }
+
+    /// Shared tail of the `decode_into` variants: accept a converged BP answer or
+    /// run the ordered-statistics fallback on the BP soft output.
+    fn finish_decode(
+        &self,
+        syndrome: &[bool],
+        bp_status: crate::bp::BpStatus,
+        scratch: &mut DecoderScratch,
+    ) -> DecodeStatus {
         if bp_status.converged {
             return DecodeStatus {
                 method: DecodeMethod::BeliefPropagation,
@@ -142,7 +172,10 @@ mod tests {
             let d = dec.decode(&s, 0.01);
             let residual: Vec<bool> = e.iter().zip(&d.error).map(|(&a, &b)| a ^ b).collect();
             assert!(code.z_syndrome(&residual).iter().all(|&b| !b));
-            assert!(!code.x_error_is_logical(&residual), "weight-1 error {i} caused logical");
+            assert!(
+                !code.x_error_is_logical(&residual),
+                "weight-1 error {i} caused logical"
+            );
         }
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..40 {
@@ -158,7 +191,10 @@ mod tests {
             let d = dec.decode(&s, 0.01);
             let residual: Vec<bool> = e.iter().zip(&d.error).map(|(&x, &y)| x ^ y).collect();
             assert!(code.z_syndrome(&residual).iter().all(|&v| !v));
-            assert!(!code.x_error_is_logical(&residual), "weight-2 error caused logical");
+            assert!(
+                !code.x_error_is_logical(&residual),
+                "weight-2 error caused logical"
+            );
         }
     }
 
@@ -196,6 +232,34 @@ mod tests {
                 assert_eq!(scratch.error(), fresh.error.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn uniform_priors_match_the_uniform_path_including_osd_fallback() {
+        // The per-bit-priors entry point with a constant prior must compute exactly
+        // what the scalar path computes, on BP-converged and OSD-fallback syndromes
+        // alike (the sweep-level property test extends this across the catalog).
+        let code = bb_72_12_6().expect("valid");
+        let dec = BpOsdDecoder::new(code.hz(), 12);
+        let n = code.num_qubits();
+        let p = 0.03;
+        let priors = vec![p; n];
+        let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5);
+        let mut scratch_a = DecoderScratch::new();
+        let mut scratch_b = DecoderScratch::new();
+        let mut fallbacks = 0usize;
+        for _ in 0..30 {
+            let e: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.06)).collect();
+            let s = code.z_syndrome(&e);
+            let uniform = dec.decode_into(&s, p, &mut scratch_a);
+            let with_priors = dec.decode_with_priors_into(&s, &priors, &mut scratch_b);
+            assert_eq!(uniform, with_priors);
+            assert_eq!(scratch_a.error(), scratch_b.error());
+            if uniform.method == DecodeMethod::OrderedStatistics {
+                fallbacks += 1;
+            }
+        }
+        assert!(fallbacks > 0, "test must exercise the OSD fallback");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::bposd::BpOsdDecoder;
 use crate::scratch::DecoderScratch;
-use noise::HardwareNoiseModel;
+use noise::{ChannelSpec, ErrorChannel, HardwareNoiseModel};
 use qec::CssCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,7 +44,11 @@ impl LerEstimate {
     pub fn from_counts(shots: usize, failures: usize) -> Self {
         assert!(shots > 0, "need at least one shot");
         let raw = failures as f64 / shots as f64;
-        let ler = if failures == 0 { 0.5 / shots as f64 } else { raw };
+        let ler = if failures == 0 {
+            0.5 / shots as f64
+        } else {
+            raw
+        };
         // The standard error is computed from the (possibly floored) estimate, so a
         // zero-failure point carries a nonzero uncertainty instead of std_err = 0.
         let std_err = (ler * (1.0 - ler) / shots as f64).sqrt();
@@ -184,7 +188,9 @@ impl MemoryConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map_or(4, |n| n.get()).min(16)
+            std::thread::available_parallelism()
+                .map_or(4, |n| n.get())
+                .min(16)
         }
     }
 
@@ -216,33 +222,100 @@ impl ShotScratch {
     }
 }
 
-/// A logical-memory experiment for one code under one hardware noise model.
+/// A logical-memory experiment for one code under one hardware noise model and one
+/// per-qubit [`ErrorChannel`].
 #[derive(Debug)]
 pub struct MemoryExperiment<'a> {
     code: &'a CssCode,
     model: HardwareNoiseModel,
+    /// The per-qubit channel driving the sampler. Defaults to the uniform channel
+    /// at the model's effective error rate, which reproduces the historical scalar
+    /// path bit-for-bit.
+    channel: ErrorChannel,
+    /// Per-bit decoder priors: the channel's data rates clamped to the decoder's
+    /// numerically safe range (rebuilt whenever the channel changes).
+    priors: Vec<f64>,
     x_decoder: BpOsdDecoder,
     z_decoder: BpOsdDecoder,
 }
 
 impl<'a> MemoryExperiment<'a> {
-    /// Builds the experiment (constructing BP+OSD decoders for both sectors).
+    /// Builds the experiment (constructing BP+OSD decoders for both sectors) with
+    /// the uniform channel at the model's effective error rate.
     pub fn new(code: &'a CssCode, model: HardwareNoiseModel, bp_iterations: usize) -> Self {
-        MemoryExperiment {
+        let mut exp = MemoryExperiment {
             code,
             model,
+            channel: ErrorChannel::uniform(code.num_qubits(), model.effective_error_rate()),
+            priors: Vec::new(),
             // Hx detects Z errors; Hz detects X errors.
             x_decoder: BpOsdDecoder::new(code.hz(), bp_iterations),
             z_decoder: BpOsdDecoder::new(code.hx(), bp_iterations),
-        }
+        };
+        exp.rebuild_priors();
+        exp
+    }
+
+    /// Builds the experiment with an explicit channel (see
+    /// [`MemoryExperiment::set_channel`]).
+    pub fn with_channel(
+        code: &'a CssCode,
+        model: HardwareNoiseModel,
+        channel: ErrorChannel,
+        bp_iterations: usize,
+    ) -> Self {
+        let mut exp = Self::new(code, model, bp_iterations);
+        exp.set_channel(channel);
+        exp
     }
 
     /// Replaces the noise model, keeping the (expensive-to-build) sector decoders.
+    /// The channel is reset to the uniform channel of the new model — a previous
+    /// [`set_channel`](MemoryExperiment::set_channel) never leaks across points.
     ///
     /// Latency and error-rate sweeps over one code should construct a single
     /// experiment and call this between points instead of rebuilding everything.
     pub fn set_model(&mut self, model: HardwareNoiseModel) {
         self.model = model;
+        self.set_channel(ErrorChannel::uniform(
+            self.code.num_qubits(),
+            model.effective_error_rate(),
+        ));
+    }
+
+    /// Replaces the per-qubit error channel, keeping model and decoders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel's data length differs from the code's qubit count, or
+    /// a non-empty measurement vector differs from the code's check count
+    /// (X-sector checks then Z-sector, see `noise::channel`).
+    pub fn set_channel(&mut self, channel: ErrorChannel) {
+        assert_eq!(
+            channel.num_data(),
+            self.code.num_qubits(),
+            "channel sized for a different code"
+        );
+        assert!(
+            !channel.has_measurement_noise()
+                || channel.measurement().len() == self.code.num_stabilizers(),
+            "channel has {} measurement checks, code has {}",
+            channel.measurement().len(),
+            self.code.num_stabilizers()
+        );
+        self.channel = channel;
+        self.rebuild_priors();
+    }
+
+    /// The channel currently driving the sampler.
+    pub fn channel(&self) -> &ErrorChannel {
+        &self.channel
+    }
+
+    fn rebuild_priors(&mut self) {
+        self.priors.clear();
+        self.priors
+            .extend(self.channel.data().iter().map(|&p| p.clamp(1e-9, 0.45)));
     }
 
     /// The effective per-qubit, per-round error rate driving the sampling.
@@ -260,34 +333,62 @@ impl<'a> MemoryExperiment<'a> {
     /// Runs one shot with the given RNG, borrowing all working buffers from
     /// `scratch`; returns `true` when a logical error occurred. In steady state
     /// (after the first shot has sized the buffers) this performs no heap allocation.
+    ///
+    /// With the uniform channel this is the historical scalar path — same RNG
+    /// stream, same cached-LLR `decode_into` — bit for bit. A structured channel
+    /// samples each data qubit at its own rate, flips extracted syndrome bits at
+    /// the channel's measurement rates, and decodes with matching per-bit priors
+    /// via `decode_with_priors_into`.
     pub fn sample_one_with<R: Rng>(&self, rng: &mut R, scratch: &mut ShotScratch) -> bool {
         let n = self.code.num_qubits();
-        let p = self.effective_error_rate();
+        let uniform = self.channel.uniform_rate();
         // Depolarizing channel: X, Y, Z each with p/3. X-frame = X or Y; Z-frame = Z or Y.
         scratch.x_error.clear();
         scratch.x_error.resize(n, false);
         scratch.z_error.clear();
         scratch.z_error.resize(n, false);
-        for q in 0..n {
-            if rng.gen_bool(p.min(0.75)) {
-                match rng.gen_range(0..3) {
-                    0 => scratch.x_error[q] = true,
-                    1 => scratch.z_error[q] = true,
-                    _ => {
-                        scratch.x_error[q] = true;
-                        scratch.z_error[q] = true;
+        match uniform {
+            Some(p) => {
+                for q in 0..n {
+                    if rng.gen_bool(p.min(0.75)) {
+                        depolarize(rng, scratch, q);
+                    }
+                }
+            }
+            None => {
+                for (q, &pq) in self.channel.data().iter().enumerate() {
+                    if rng.gen_bool(pq.min(0.75)) {
+                        depolarize(rng, scratch, q);
                     }
                 }
             }
         }
-        let p_decode = p.clamp(1e-9, 0.45);
+        // Measurement flip rates per sector: the X decoder consumes Z-stabilizer
+        // checks (rows of Hz, the tail of the channel's check-major layout), the Z
+        // decoder consumes X-stabilizer checks (the head).
+        let (x_check_rates, z_check_rates) = if self.channel.has_measurement_noise() {
+            let split = self.code.num_x_stabilizers();
+            let m = self.channel.measurement();
+            (&m[..split], &m[split..])
+        } else {
+            (&[] as &[f64], &[] as &[f64])
+        };
         // X errors are detected by Z stabilizers and corrected by the X decoder.
         self.x_decoder
             .check_matrix()
             .syndrome_into(&scratch.x_error, &mut scratch.syndrome);
-        self.x_decoder
-            .decode_into(&scratch.syndrome, p_decode, &mut scratch.x_decode);
-        xor_into(&scratch.x_error, scratch.x_decode.error(), &mut scratch.residual);
+        flip_syndrome(rng, &mut scratch.syndrome, z_check_rates);
+        self.decode_sector(
+            &self.x_decoder,
+            uniform,
+            &scratch.syndrome,
+            &mut scratch.x_decode,
+        );
+        xor_into(
+            &scratch.x_error,
+            scratch.x_decode.error(),
+            &mut scratch.residual,
+        );
         if self.code.x_error_is_logical(&scratch.residual) {
             return true;
         }
@@ -295,10 +396,38 @@ impl<'a> MemoryExperiment<'a> {
         self.z_decoder
             .check_matrix()
             .syndrome_into(&scratch.z_error, &mut scratch.syndrome);
-        self.z_decoder
-            .decode_into(&scratch.syndrome, p_decode, &mut scratch.z_decode);
-        xor_into(&scratch.z_error, scratch.z_decode.error(), &mut scratch.residual);
+        flip_syndrome(rng, &mut scratch.syndrome, x_check_rates);
+        self.decode_sector(
+            &self.z_decoder,
+            uniform,
+            &scratch.syndrome,
+            &mut scratch.z_decode,
+        );
+        xor_into(
+            &scratch.z_error,
+            scratch.z_decode.error(),
+            &mut scratch.residual,
+        );
         self.code.z_error_is_logical(&scratch.residual)
+    }
+
+    /// One sector decode: the uniform channel keeps the cached-LLR scalar path,
+    /// structured channels pass the per-bit priors.
+    fn decode_sector(
+        &self,
+        decoder: &BpOsdDecoder,
+        uniform: Option<f64>,
+        syndrome: &[bool],
+        scratch: &mut DecoderScratch,
+    ) {
+        match uniform {
+            Some(p) => {
+                decoder.decode_into(syndrome, p.clamp(1e-9, 0.45), scratch);
+            }
+            None => {
+                decoder.decode_with_priors_into(syndrome, &self.priors, scratch);
+            }
+        }
     }
 
     /// Runs the full Monte-Carlo experiment in parallel and returns the LER estimate.
@@ -443,7 +572,8 @@ pub const ADAPTIVE_BATCH: usize = 256;
 pub const ADAPTIVE_BATCH_CAP: usize = 16_384;
 
 /// One operating point of a logical-error-rate sweep: a code evaluated at physical
-/// error rate `p` with a syndrome-extraction round latency of `latency` seconds.
+/// error rate `p` with a syndrome-extraction round latency of `latency` seconds,
+/// optionally under a structured error channel.
 #[derive(Debug, Clone, Copy)]
 pub struct LerPoint<'a> {
     /// The code under test.
@@ -452,6 +582,9 @@ pub struct LerPoint<'a> {
     pub p: f64,
     /// Round latency in seconds (drives the decoherence contribution).
     pub latency: f64,
+    /// How the hardware model is lifted to a per-qubit channel: `None` (or
+    /// [`ChannelSpec::Uniform`]) is the historical scalar path, bit for bit.
+    pub channel: Option<&'a ChannelSpec>,
 }
 
 /// Estimates every point of a sweep across a shared worker pool at *point*
@@ -519,8 +652,10 @@ pub fn estimate_points_adaptive(
                     }
                     let point = &points[i];
                     let key = std::ptr::from_ref(point.code);
-                    let model =
-                        HardwareNoiseModel::new(noise::NoiseParameters::new(point.p), point.latency);
+                    let model = HardwareNoiseModel::new(
+                        noise::NoiseParameters::new(point.p),
+                        point.latency,
+                    );
                     let exp = match experiments.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, exp)) => {
                             exp.set_model(model);
@@ -529,11 +664,27 @@ pub fn estimate_points_adaptive(
                         None => {
                             experiments.push((
                                 key,
-                                MemoryExperiment::new(point.code, model, point_config.bp_iterations),
+                                MemoryExperiment::new(
+                                    point.code,
+                                    model,
+                                    point_config.bp_iterations,
+                                ),
                             ));
                             &mut experiments.last_mut().expect("just pushed").1
                         }
                     };
+                    // A structured channel replaces the uniform one set_model just
+                    // installed; uniform specs skip the rebuild and keep the
+                    // historical fast path byte-for-byte.
+                    if let Some(spec) = point.channel {
+                        if !spec.is_uniform() {
+                            exp.set_channel(spec.instantiate(
+                                &model,
+                                point.code.num_qubits(),
+                                point.code.num_stabilizers(),
+                            ));
+                        }
+                    }
                     let estimate = match &targets[i] {
                         None => exp.run(&point_config),
                         Some(target) => exp.run_adaptive(&point_config, target),
@@ -545,7 +696,11 @@ pub fn estimate_points_adaptive(
     });
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("unpoisoned").expect("every point ran"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned")
+                .expect("every point ran")
+        })
         .collect()
 }
 
@@ -554,6 +709,40 @@ fn xor_into(a: &[bool], b: &[bool], out: &mut Vec<bool>) {
     debug_assert_eq!(a.len(), b.len());
     out.clear();
     out.extend(a.iter().zip(b).map(|(&x, &y)| x ^ y));
+}
+
+/// Applies one depolarizing event to qubit `q`: X, Y, Z each with probability 1/3
+/// (X-frame = X or Y; Z-frame = Z or Y).
+#[inline]
+fn depolarize<R: Rng>(rng: &mut R, scratch: &mut ShotScratch, q: usize) {
+    match rng.gen_range(0..3) {
+        0 => scratch.x_error[q] = true,
+        1 => scratch.z_error[q] = true,
+        _ => {
+            scratch.x_error[q] = true;
+            scratch.z_error[q] = true;
+        }
+    }
+}
+
+/// Flips each extracted syndrome bit with its check's measurement error rate.
+/// An empty rate slice (noiseless measurement) draws nothing from the RNG, so the
+/// uniform channel's stream stays bit-identical to the historical path.
+#[inline]
+fn flip_syndrome<R: Rng>(rng: &mut R, syndrome: &mut [bool], rates: &[f64]) {
+    if rates.is_empty() {
+        return;
+    }
+    debug_assert_eq!(
+        syndrome.len(),
+        rates.len(),
+        "one measurement rate per check"
+    );
+    for (bit, &p) in syndrome.iter_mut().zip(rates) {
+        if rng.gen_bool(p) {
+            *bit = !*bit;
+        }
+    }
 }
 
 /// Convenience: estimate the LER of `code` for a round that takes `latency` seconds at
@@ -583,7 +772,11 @@ mod tests {
             shots: 300,
             ..Default::default()
         });
-        assert!(est.ler < 0.1, "LER {} too high at p=1e-4 with zero latency", est.ler);
+        assert!(
+            est.ler < 0.1,
+            "LER {} too high at p=1e-4 with zero latency",
+            est.ler
+        );
     }
 
     #[test]
@@ -653,7 +846,10 @@ mod tests {
         // Regression: std_err used to come from the raw (zero) failure fraction, so
         // zero-failure points plotted with zero uncertainty despite the ler floor.
         let zero = LerEstimate::from_counts(400, 0);
-        assert!(zero.std_err > 0.0, "floored estimate must have nonzero std_err");
+        assert!(
+            zero.std_err > 0.0,
+            "floored estimate must have nonzero std_err"
+        );
         let expected = (zero.ler * (1.0 - zero.ler) / 400.0).sqrt();
         assert_eq!(zero.std_err, expected);
         // Nonzero-failure points are unchanged: ler equals the raw fraction.
@@ -672,7 +868,10 @@ mod tests {
         assert_eq!(est.failures, 0);
         assert_eq!(est.ler, 0.0);
         assert_eq!(est.std_err, 0.0);
-        assert!(!est.is_upper_bound(), "no shots is no measurement, not an upper bound");
+        assert!(
+            !est.is_upper_bound(),
+            "no shots is no measurement, not an upper bound"
+        );
         assert!(est.ler.is_finite() && est.std_err.is_finite());
         assert_eq!(est.relative_std_err(), f64::INFINITY);
         assert_eq!(est, LerEstimate::empty());
@@ -715,14 +914,20 @@ mod tests {
         assert!(adaptive.shots < 5_000, "high-failure point must stop early");
         assert!(target.met_by(adaptive.shots, adaptive.failures));
         assert!(
-            !target.met_by(adaptive.shots - 1, adaptive.failures - usize::from(adaptive.failures > 0)),
+            !target.met_by(
+                adaptive.shots - 1,
+                adaptive.failures - usize::from(adaptive.failures > 0)
+            ),
             "must stop at the *smallest* qualifying prefix"
         );
         let fixed = exp.run(&MemoryConfig {
             shots: adaptive.shots,
             ..config
         });
-        assert_eq!(adaptive, fixed, "adaptive result must be the fixed result of its shot count");
+        assert_eq!(
+            adaptive, fixed,
+            "adaptive result must be the fixed result of its shot count"
+        );
     }
 
     #[test]
@@ -745,7 +950,10 @@ mod tests {
                 "threads={threads} batch={batch} diverged from the single-shot reference"
             );
         }
-        assert_eq!(exp.run_adaptive(&MemoryConfig { threads: 4, ..base }, &target), reference);
+        assert_eq!(
+            exp.run_adaptive(&MemoryConfig { threads: 4, ..base }, &target),
+            reference
+        );
     }
 
     #[test]
@@ -764,7 +972,13 @@ mod tests {
         let target = PrecisionTarget::new(0.1, 1_000_000, 300);
         let capped = exp.run_adaptive(&config, &target);
         assert_eq!(capped.shots, 300);
-        assert_eq!(capped, exp.run(&MemoryConfig { shots: 300, ..config }));
+        assert_eq!(
+            capped,
+            exp.run(&MemoryConfig {
+                shots: 300,
+                ..config
+            })
+        );
         // A zero-shot cap is the empty estimate, like a zero-shot fixed config.
         let empty = exp.run_adaptive(&config, &PrecisionTarget::new(0.1, 1, 0));
         assert!(empty.is_empty());
@@ -780,8 +994,18 @@ mod tests {
             seed: 0xC1C1_0DE5,
         };
         let points = [
-            LerPoint { code: &code, p: 0.05, latency: 0.0 },
-            LerPoint { code: &code, p: 0.05, latency: 0.0 },
+            LerPoint {
+                code: &code,
+                p: 0.05,
+                latency: 0.0,
+                channel: None,
+            },
+            LerPoint {
+                code: &code,
+                p: 0.05,
+                latency: 0.0,
+                channel: None,
+            },
         ];
         let target = PrecisionTarget::new(0.4, 6, 4_000);
         let targets = [None, Some(target)];
@@ -791,7 +1015,16 @@ mod tests {
         // ... and the adaptive slot matches a direct adaptive run.
         let model = HardwareNoiseModel::new(NoiseParameters::new(0.05), 0.0);
         let exp = MemoryExperiment::new(&code, model, config.bp_iterations);
-        assert_eq!(mixed[1], exp.run_adaptive(&MemoryConfig { threads: 1, ..config }, &target));
+        assert_eq!(
+            mixed[1],
+            exp.run_adaptive(
+                &MemoryConfig {
+                    threads: 1,
+                    ..config
+                },
+                &target
+            )
+        );
     }
 
     #[test]
@@ -821,9 +1054,24 @@ mod tests {
             seed: 0xC1C1_0DE5,
         };
         let points = [
-            LerPoint { code: &code, p: 2e-3, latency: 0.0 },
-            LerPoint { code: &code, p: 2e-3, latency: 0.05 },
-            LerPoint { code: &code, p: 8e-3, latency: 0.01 },
+            LerPoint {
+                code: &code,
+                p: 2e-3,
+                latency: 0.0,
+                channel: None,
+            },
+            LerPoint {
+                code: &code,
+                p: 2e-3,
+                latency: 0.05,
+                channel: None,
+            },
+            LerPoint {
+                code: &code,
+                p: 8e-3,
+                latency: 0.01,
+                channel: None,
+            },
         ];
         let pooled = estimate_points(&points, &cfg);
         assert_eq!(pooled.len(), 3);
@@ -846,7 +1094,12 @@ mod tests {
         };
         let points: Vec<LerPoint<'_>> = [1e-3, 3e-3, 6e-3, 9e-3]
             .iter()
-            .map(|&p| LerPoint { code: &code, p, latency: 0.02 })
+            .map(|&p| LerPoint {
+                code: &code,
+                p,
+                latency: 0.02,
+                channel: None,
+            })
             .collect();
         let serial = estimate_points(&points, &base);
         let pooled = estimate_points(&points, &MemoryConfig { threads: 4, ..base });
@@ -859,6 +1112,168 @@ mod tests {
     #[test]
     fn estimate_points_handles_empty_input() {
         assert!(estimate_points(&[], &MemoryConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn explicit_uniform_channel_is_bit_identical_to_the_scalar_path() {
+        // Installing the uniform channel by hand must reproduce the historical
+        // scalar path exactly: same RNG stream, same cached-LLR decodes.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(8e-3), 5e-3);
+        let cfg = MemoryConfig {
+            shots: 200,
+            bp_iterations: 20,
+            threads: 2,
+            seed: 0xC1C1_0DE5,
+        };
+        let scalar = MemoryExperiment::new(&code, model, cfg.bp_iterations).run(&cfg);
+        let channel = noise::ErrorChannel::uniform(code.num_qubits(), model.effective_error_rate());
+        let channeled =
+            MemoryExperiment::with_channel(&code, model, channel, cfg.bp_iterations).run(&cfg);
+        assert_eq!(scalar, channeled);
+    }
+
+    #[test]
+    fn measurement_noise_degrades_the_logical_error_rate() {
+        // A biased channel flips extracted syndrome bits, so decoding gets harder:
+        // at matched data rates the biased LER must not beat the uniform one (and
+        // with a strong bias it should clearly exceed it).
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(4e-3), 0.0);
+        let cfg = MemoryConfig {
+            shots: 400,
+            bp_iterations: 20,
+            threads: 2,
+            seed: 0xC1C1_0DE5,
+        };
+        let p = model.effective_error_rate();
+        let uniform = MemoryExperiment::new(&code, model, cfg.bp_iterations).run(&cfg);
+        let biased = noise::ErrorChannel::biased(
+            code.num_qubits(),
+            code.num_stabilizers(),
+            p,
+            (20.0 * p).min(0.45),
+        );
+        let noisy =
+            MemoryExperiment::with_channel(&code, model, biased, cfg.bp_iterations).run(&cfg);
+        assert!(
+            noisy.failures > uniform.failures,
+            "strong measurement noise ({} failures) should beat uniform ({} failures)",
+            noisy.failures,
+            uniform.failures
+        );
+    }
+
+    #[test]
+    fn structured_channels_are_thread_count_invariant() {
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(6e-3), 1e-3);
+        let p = model.effective_error_rate();
+        // Heterogeneous data rates and measurement noise in one channel.
+        let mut data: Vec<f64> = vec![p; code.num_qubits()];
+        for (q, rate) in data.iter_mut().enumerate() {
+            if q % 3 == 0 {
+                *rate = (2.0 * p).min(0.5);
+            }
+        }
+        let channel = noise::ErrorChannel::from_rates(data, vec![2e-3; code.num_stabilizers()]);
+        let base = MemoryConfig {
+            shots: 150,
+            bp_iterations: 15,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let exp = MemoryExperiment::with_channel(&code, model, channel, base.bp_iterations);
+        let single = exp.run(&base);
+        let four = exp.run(&MemoryConfig { threads: 4, ..base });
+        assert_eq!(single, four);
+    }
+
+    #[test]
+    fn set_model_resets_a_structured_channel() {
+        // A custom channel must never leak into the next operating point: set_model
+        // reinstalls the uniform channel of the new model.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(5e-3), 0.0);
+        let cfg = MemoryConfig {
+            shots: 150,
+            ..Default::default()
+        };
+        let fresh = MemoryExperiment::new(&code, model, cfg.bp_iterations).run(&cfg);
+        let biased =
+            noise::ErrorChannel::biased(code.num_qubits(), code.num_stabilizers(), 5e-3, 0.3);
+        let mut exp = MemoryExperiment::with_channel(&code, model, biased, cfg.bp_iterations);
+        assert!(exp.channel().has_measurement_noise());
+        exp.set_model(model);
+        assert_eq!(
+            exp.channel().uniform_rate(),
+            Some(model.effective_error_rate())
+        );
+        assert_eq!(exp.run(&cfg), fresh);
+    }
+
+    #[test]
+    fn estimate_points_applies_channel_specs_per_point() {
+        let code = bb_72_12_6().expect("valid");
+        let cfg = MemoryConfig {
+            shots: 150,
+            bp_iterations: 15,
+            threads: 4,
+            seed: 0xC1C1_0DE5,
+        };
+        let biased = ChannelSpec::Biased { meas_ratio: 20.0 };
+        let points = [
+            LerPoint {
+                code: &code,
+                p: 5e-3,
+                latency: 0.0,
+                channel: None,
+            },
+            LerPoint {
+                code: &code,
+                p: 5e-3,
+                latency: 0.0,
+                channel: Some(&ChannelSpec::Uniform),
+            },
+            LerPoint {
+                code: &code,
+                p: 5e-3,
+                latency: 0.0,
+                channel: Some(&biased),
+            },
+        ];
+        let estimates = estimate_points(&points, &cfg);
+        // None and an explicit Uniform spec are the same path ...
+        assert_eq!(estimates[0], estimates[1]);
+        assert_eq!(estimates[0], logical_error_rate(&code, 5e-3, 0.0, &cfg));
+        // ... and the biased point sees more failures under the same seeds.
+        assert!(estimates[2].failures > estimates[0].failures);
+    }
+
+    #[test]
+    fn schedule_channel_samples_end_to_end() {
+        // A from_schedule channel (heterogeneous data + ancilla rates) drives the
+        // sampler and per-bit priors without panicking, deterministically.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(5e-3), 2e-2);
+        let n = code.num_qubits();
+        let data_idle: Vec<f64> = (0..n).map(|q| 2e-2 * (q % 5) as f64 / 4.0).collect();
+        let meas_idle: Vec<f64> = (0..code.num_stabilizers())
+            .map(|c| 1e-2 * (c % 3) as f64)
+            .collect();
+        let channel = noise::ErrorChannel::from_schedule(&model, &data_idle, &meas_idle);
+        assert!(channel.uniform_rate().is_none());
+        let cfg = MemoryConfig {
+            shots: 120,
+            bp_iterations: 15,
+            threads: 2,
+            seed: 0xC1C1_0DE5,
+        };
+        let exp = MemoryExperiment::with_channel(&code, model, channel.clone(), cfg.bp_iterations);
+        let a = exp.run(&cfg);
+        let b = MemoryExperiment::with_channel(&code, model, channel, cfg.bp_iterations).run(&cfg);
+        assert_eq!(a, b, "schedule-channel sampling must be deterministic");
+        assert_eq!(a.shots, cfg.shots);
     }
 
     #[test]

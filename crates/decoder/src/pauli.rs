@@ -284,7 +284,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any, "1% circuit noise should trip some stabilizer in 50 rounds");
+        assert!(
+            any,
+            "1% circuit noise should trip some stabilizer in 50 rounds"
+        );
     }
 
     #[test]
@@ -293,8 +296,11 @@ mod tests {
         let sched = parallel_xz_schedule(&code);
         let mut rng = StdRng::seed_from_u64(4);
         let count_triggers = |idle: f64, rng: &mut StdRng| {
-            let sim =
-                PauliFrameSimulator::new(&code, &sched, CircuitNoise::uniform(1e-4).with_idle(idle));
+            let sim = PauliFrameSimulator::new(
+                &code,
+                &sched,
+                CircuitNoise::uniform(1e-4).with_idle(idle),
+            );
             (0..300)
                 .filter(|_| {
                     let o = sim.simulate_fresh_round(rng);
@@ -304,6 +310,9 @@ mod tests {
         };
         let low = count_triggers(0.0, &mut rng);
         let high = count_triggers(0.05, &mut rng);
-        assert!(high > low, "idle noise should create more syndrome events ({high} <= {low})");
+        assert!(
+            high > low,
+            "idle noise should create more syndrome events ({high} <= {low})"
+        );
     }
 }

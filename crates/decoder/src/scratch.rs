@@ -24,6 +24,11 @@ pub struct DecoderScratch {
     pub(crate) channel_llr: Vec<f64>,
     /// Cache key for `channel_llr` when it holds a uniform-prior fill: `(p, n)`.
     pub(crate) cached_uniform: Option<(f64, usize)>,
+    /// Cache key for `channel_llr` when it holds a per-bit-priors fill: the exact
+    /// priors it was built from (empty = no priors cached). The Monte-Carlo steady
+    /// state decodes the same priors vector every shot, so the equality check
+    /// replaces one `ln` per bit with one comparison per bit.
+    pub(crate) cached_priors: Vec<f64>,
     /// Check→variable messages, indexed by Tanner-graph edge id.
     pub(crate) check_to_var: Vec<f64>,
     /// Variable→check messages, indexed by Tanner-graph edge id.
@@ -76,5 +81,6 @@ mod tests {
         assert!(s.error().is_empty());
         assert!(s.llrs().is_empty());
         assert!(s.cached_uniform.is_none());
+        assert!(s.cached_priors.is_empty());
     }
 }

@@ -26,8 +26,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod channel;
 pub mod decoherence;
 pub mod model;
 
+pub use channel::{ChannelSpec, ErrorChannel};
 pub use decoherence::{coherence_time_from_p, pauli_twirl_error, CoherenceTimes};
 pub use model::{HardwareNoiseModel, NoiseParameters};

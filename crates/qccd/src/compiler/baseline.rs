@@ -7,7 +7,7 @@
 //! order; resource contention (busy traps, junction crossings, roadblocks) then
 //! determines the realized execution time.
 
-use crate::compiler::sim::ShuttleSim;
+use crate::compiler::sim::{IdleExposure, ShuttleSim};
 use crate::compiler::CompiledRound;
 use crate::hardware::Topology;
 use crate::placement::{greedy_cluster_placement, Placement};
@@ -17,18 +17,19 @@ use qec::{CssCode, StabKind};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Orders a flat gate list by the static EJF policy and executes it on the simulator.
+/// Orders a flat gate list by the static EJF policy and executes it on the
+/// simulator, returning the compiled round plus its per-qubit [`IdleExposure`].
 ///
 /// `gates` must list every gate of one syndrome-extraction round; dependencies are
 /// derived from shared qubits in listing order (the "interaction DAG" of the paper).
-pub(crate) fn run_static_ejf(
+pub(crate) fn run_static_ejf_profiled(
     code: &CssCode,
     topology: &Topology,
     placement: &Placement,
     times: &OperationTimes,
     gates: &[GateOp],
     codesign: String,
-) -> CompiledRound {
+) -> (CompiledRound, IdleExposure) {
     let mut sim = ShuttleSim::new(code, topology, placement, times);
 
     // Dependency edges: for each qubit (data or ancilla), gates touching it are
@@ -80,7 +81,10 @@ pub(crate) fn run_static_ejf(
             }
         }
     }
-    assert_eq!(processed, n, "dependency graph of the gate list must be acyclic");
+    assert_eq!(
+        processed, n,
+        "dependency graph of the gate list must be acyclic"
+    );
 
     // Measure every ancilla after its last gate. The drain is sorted so the
     // simulator accumulates its float breakdown in a fixed order — HashMap
@@ -97,7 +101,7 @@ pub(crate) fn run_static_ejf(
         sim.measure_ancilla(kind, idx, end);
     }
 
-    CompiledRound {
+    let round = CompiledRound {
         codesign,
         execution_time: sim.horizon(),
         breakdown: sim.breakdown(),
@@ -108,7 +112,9 @@ pub(crate) fn run_static_ejf(
         num_traps: topology.num_traps(),
         num_junctions: topology.num_junctions(),
         num_ancilla: code.num_stabilizers(),
-    }
+    };
+    let exposure = sim.idle_exposure();
+    (round, exposure)
 }
 
 /// Compiles one round of syndrome extraction with the baseline policy
@@ -123,8 +129,19 @@ pub fn compile_baseline(
     times: &OperationTimes,
     schedule: &Schedule,
 ) -> CompiledRound {
+    compile_baseline_profiled(code, topology, times, schedule).0
+}
+
+/// [`compile_baseline`] plus the per-qubit [`IdleExposure`] of the compiled round
+/// (the input `noise::ErrorChannel::from_schedule` consumes).
+pub fn compile_baseline_profiled(
+    code: &CssCode,
+    topology: &Topology,
+    times: &OperationTimes,
+    schedule: &Schedule,
+) -> (CompiledRound, IdleExposure) {
     let placement = greedy_cluster_placement(code, topology);
-    compile_baseline_with_placement(code, topology, times, schedule, &placement)
+    compile_baseline_with_placement_profiled(code, topology, times, schedule, &placement)
 }
 
 /// Same as [`compile_baseline`] but with an externally chosen placement (used by the
@@ -136,8 +153,21 @@ pub fn compile_baseline_with_placement(
     schedule: &Schedule,
     placement: &Placement,
 ) -> CompiledRound {
+    compile_baseline_with_placement_profiled(code, topology, times, schedule, placement).0
+}
+
+/// [`compile_baseline_with_placement`] plus the per-qubit [`IdleExposure`] — the
+/// single core every baseline `compile_*` variant delegates to, so the gate
+/// flattening and codesign label exist in exactly one place.
+pub fn compile_baseline_with_placement_profiled(
+    code: &CssCode,
+    topology: &Topology,
+    times: &OperationTimes,
+    schedule: &Schedule,
+    placement: &Placement,
+) -> (CompiledRound, IdleExposure) {
     let gates: Vec<GateOp> = schedule.slices().iter().flatten().copied().collect();
-    run_static_ejf(
+    run_static_ejf_profiled(
         code,
         topology,
         placement,
@@ -216,8 +246,11 @@ mod tests {
             &times,
             &serial_schedule(&code),
         );
-        assert!(circle.execution_time > grid.execution_time * 0.5,
+        assert!(
+            circle.execution_time > grid.execution_time * 0.5,
             "uncoordinated ring should not dramatically beat the grid: ring {} vs grid {}",
-            circle.execution_time, grid.execution_time);
+            circle.execution_time,
+            grid.execution_time
+        );
     }
 }

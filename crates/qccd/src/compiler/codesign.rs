@@ -10,9 +10,12 @@
 //! remain the underlying implementation; every impl here is a thin wrapper that is
 //! pinned bit-identical to them by the regression suite in the `cyclone` crate.
 
-use crate::compiler::baseline::compile_baseline;
-use crate::compiler::dynamic::compile_dynamic;
-use crate::compiler::variants::{compile_baseline2, compile_baseline3};
+use crate::compiler::baseline::{compile_baseline, compile_baseline_profiled};
+use crate::compiler::dynamic::{compile_dynamic, compile_dynamic_profiled};
+use crate::compiler::sim::IdleExposure;
+use crate::compiler::variants::{
+    compile_baseline2, compile_baseline2_profiled, compile_baseline3, compile_baseline3_profiled,
+};
 use crate::compiler::CompiledRound;
 use crate::timing::OperationTimes;
 use crate::topology::{alternate_grid, baseline_grid, mesh_junction_network, ring};
@@ -31,6 +34,20 @@ pub trait Codesign: Send + Sync {
     /// Compiles one syndrome-extraction round of `code` under the given operation
     /// times, constructing whatever topology/placement the codesign prescribes.
     fn compile(&self, code: &CssCode, times: &OperationTimes) -> CompiledRound;
+
+    /// [`Codesign::compile`] plus the per-qubit [`IdleExposure`] of the compiled
+    /// round, when the codesign can produce one (`None` otherwise — callers fall
+    /// back to [`IdleExposure::uniform`], which reproduces the scalar noise model).
+    ///
+    /// Every sim-driven codesign in this crate overrides this; the analytic
+    /// Cyclone compiler in the `cyclone` crate provides its own profile.
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        (self.compile(code, times), None)
+    }
 
     /// Verifies that a compiled round executes every gate of the syndrome-extraction
     /// circuit exactly once (each stabilizer touches each qubit of its support once).
@@ -82,6 +99,17 @@ impl Codesign for BaselineGrid {
         let topo = baseline_grid(code.num_qubits(), self.capacity);
         compile_baseline(code, &topo, times, &serial_schedule(code))
     }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let topo = baseline_grid(code.num_qubits(), self.capacity);
+        let (round, exposure) =
+            compile_baseline_profiled(code, &topo, times, &serial_schedule(code));
+        (round, Some(exposure))
+    }
 }
 
 /// Baseline 2: the grid with stabilizer-batched gate ordering ("muzzle the shuttle").
@@ -97,6 +125,17 @@ impl Codesign for Baseline2Grid {
         let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
         compile_baseline2(code, &topo, times, &serial_schedule(code))
     }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
+        let (round, exposure) =
+            compile_baseline2_profiled(code, &topo, times, &serial_schedule(code));
+        (round, Some(exposure))
+    }
 }
 
 /// Baseline 3: the grid with destination-trap-batched gate ordering ("MoveLess"-style).
@@ -111,6 +150,17 @@ impl Codesign for Baseline3Grid {
     fn compile(&self, code: &CssCode, times: &OperationTimes) -> CompiledRound {
         let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
         compile_baseline3(code, &topo, times, &serial_schedule(code))
+    }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
+        let (round, exposure) =
+            compile_baseline3_profiled(code, &topo, times, &serial_schedule(code));
+        (round, Some(exposure))
     }
 }
 
@@ -128,6 +178,17 @@ impl Codesign for DynamicGrid {
         let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
         compile_dynamic(code, &topo, times, &max_parallel_schedule(code))
     }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let topo = baseline_grid(code.num_qubits(), BASELINE_CAPACITY);
+        let (round, exposure) =
+            compile_dynamic_profiled(code, &topo, times, &max_parallel_schedule(code));
+        (round, Some(exposure))
+    }
 }
 
 /// The dynamic timeslice policy on the mesh junction network of §III-C (one data
@@ -144,6 +205,17 @@ impl Codesign for DynamicMesh {
         let topo = mesh_junction_network(code.num_qubits(), BASELINE_CAPACITY);
         compile_dynamic(code, &topo, times, &max_parallel_schedule(code))
     }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let topo = mesh_junction_network(code.num_qubits(), BASELINE_CAPACITY);
+        let (round, exposure) =
+            compile_dynamic_profiled(code, &topo, times, &max_parallel_schedule(code));
+        (round, Some(exposure))
+    }
 }
 
 /// The alternate grid (L-junction serpentine) with the static baseline policy
@@ -159,6 +231,17 @@ impl Codesign for AlternateGrid {
     fn compile(&self, code: &CssCode, times: &OperationTimes) -> CompiledRound {
         let topo = alternate_grid(code.num_qubits(), BASELINE_CAPACITY);
         compile_baseline(code, &topo, times, &serial_schedule(code))
+    }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let topo = alternate_grid(code.num_qubits(), BASELINE_CAPACITY);
+        let (round, exposure) =
+            compile_baseline_profiled(code, &topo, times, &serial_schedule(code));
+        (round, Some(exposure))
     }
 }
 
@@ -178,6 +261,19 @@ impl Codesign for RingStatic {
         let capacity = code.num_qubits().div_ceil(a) + 2;
         let topo = ring(a, capacity);
         compile_baseline(code, &topo, times, &serial_schedule(code))
+    }
+
+    fn compile_profiled(
+        &self,
+        code: &CssCode,
+        times: &OperationTimes,
+    ) -> (CompiledRound, Option<IdleExposure>) {
+        let a = code.num_x_stabilizers().max(code.num_z_stabilizers());
+        let capacity = code.num_qubits().div_ceil(a) + 2;
+        let topo = ring(a, capacity);
+        let (round, exposure) =
+            compile_baseline_profiled(code, &topo, times, &serial_schedule(code));
+        (round, Some(exposure))
     }
 }
 
@@ -314,6 +410,44 @@ mod tests {
             assert!(
                 design.covers_all_gates(&code),
                 "{} missed gates",
+                design.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_qccd_codesign_profiles_bit_identically_to_compile() {
+        // compile_profiled must return exactly the round of compile() — idle
+        // tracking adds accumulators, never perturbs the event math — and every
+        // sim-driven codesign must produce a real (non-fallback) profile.
+        let code = small_code();
+        let times = OperationTimes::default();
+        for design in qccd_codesigns() {
+            let plain = design.compile(&code, &times);
+            let (round, exposure) = design.compile_profiled(&code, &times);
+            assert_eq!(plain, round, "{} diverged under profiling", design.name());
+            let exposure = exposure
+                .unwrap_or_else(|| panic!("{} should export an idle profile", design.name()));
+            assert_eq!(exposure.horizon, round.execution_time);
+            assert_eq!(exposure.data.len(), code.num_qubits());
+            assert_eq!(exposure.x_ancilla.len(), code.num_x_stabilizers());
+            assert_eq!(exposure.z_ancilla.len(), code.num_z_stabilizers());
+            for &t in exposure
+                .data
+                .iter()
+                .chain(&exposure.x_ancilla)
+                .chain(&exposure.z_ancilla)
+            {
+                assert!(
+                    (0.0..=exposure.horizon).contains(&t),
+                    "{}: exposure {t} outside [0, horizon]",
+                    design.name()
+                );
+            }
+            // Gates must have made at least one qubit busy.
+            assert!(
+                exposure.data.iter().any(|&t| t < exposure.horizon),
+                "{}: no data qubit was ever busy",
                 design.name()
             );
         }

@@ -7,7 +7,7 @@
 //! grid it produces heavy roadblocking (Fig. 4a and the Fig. 6 confusion matrix), which
 //! is precisely the observation that motivates Cyclone.
 
-use crate::compiler::sim::ShuttleSim;
+use crate::compiler::sim::{IdleExposure, ShuttleSim};
 use crate::compiler::CompiledRound;
 use crate::hardware::Topology;
 use crate::placement::{greedy_cluster_placement, Placement};
@@ -22,8 +22,18 @@ pub fn compile_dynamic(
     times: &OperationTimes,
     schedule: &Schedule,
 ) -> CompiledRound {
+    compile_dynamic_profiled(code, topology, times, schedule).0
+}
+
+/// [`compile_dynamic`] plus the per-qubit [`IdleExposure`] of the compiled round.
+pub fn compile_dynamic_profiled(
+    code: &CssCode,
+    topology: &Topology,
+    times: &OperationTimes,
+    schedule: &Schedule,
+) -> (CompiledRound, IdleExposure) {
     let placement = greedy_cluster_placement(code, topology);
-    compile_dynamic_with_placement(code, topology, times, schedule, &placement)
+    compile_dynamic_with_placement_profiled(code, topology, times, schedule, &placement)
 }
 
 /// Same as [`compile_dynamic`] with an externally supplied placement.
@@ -34,6 +44,17 @@ pub fn compile_dynamic_with_placement(
     schedule: &Schedule,
     placement: &Placement,
 ) -> CompiledRound {
+    compile_dynamic_with_placement_profiled(code, topology, times, schedule, placement).0
+}
+
+/// [`compile_dynamic_with_placement`] plus the per-qubit [`IdleExposure`].
+pub fn compile_dynamic_with_placement_profiled(
+    code: &CssCode,
+    topology: &Topology,
+    times: &OperationTimes,
+    schedule: &Schedule,
+    placement: &Placement,
+) -> (CompiledRound, IdleExposure) {
     let mut sim = ShuttleSim::new(code, topology, placement, times);
     let mut slice_ready = 0.0f64;
     let mut ancilla_last_end: std::collections::HashMap<(qec::StabKind, usize), f64> =
@@ -43,7 +64,9 @@ pub fn compile_dynamic_with_placement(
         for g in slice {
             let end = sim.execute_gate(g.kind, g.stabilizer, g.data, slice_ready);
             slice_end = slice_end.max(end);
-            let e = ancilla_last_end.entry((g.kind, g.stabilizer)).or_insert(0.0);
+            let e = ancilla_last_end
+                .entry((g.kind, g.stabilizer))
+                .or_insert(0.0);
             *e = e.max(end);
         }
         slice_ready = slice_end;
@@ -56,7 +79,7 @@ pub fn compile_dynamic_with_placement(
     for ((kind, idx), end) in measurements {
         sim.measure_ancilla(kind, idx, end);
     }
-    CompiledRound {
+    let round = CompiledRound {
         codesign: format!("{} + dynamic timeslices", topology.name()),
         execution_time: sim.horizon(),
         breakdown: sim.breakdown(),
@@ -67,7 +90,9 @@ pub fn compile_dynamic_with_placement(
         num_traps: topology.num_traps(),
         num_junctions: topology.num_junctions(),
         num_ancilla: code.num_stabilizers(),
-    }
+    };
+    let exposure = sim.idle_exposure();
+    (round, exposure)
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ pub mod sim;
 pub mod variants;
 
 pub use codesign::{Codesign, CodesignRegistry};
+pub use sim::IdleExposure;
 
 use serde::{Deserialize, Serialize};
 

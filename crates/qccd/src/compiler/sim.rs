@@ -20,6 +20,54 @@ use crate::hardware::{NodeId, NodeKind, Topology};
 use crate::placement::Placement;
 use crate::timing::OperationTimes;
 use qec::{CssCode, StabKind};
+use serde::{Deserialize, Serialize};
+
+/// Per-qubit idle exposure of one compiled syndrome-extraction round.
+///
+/// For every ion the simulator tracks *busy* time — time spent under an active
+/// operation whose errors the base circuit-level rates already account for
+/// (entangling gates for data qubits and ancillas; measurement + re-preparation
+/// for ancillas). Everything else — sitting parked while other traps gate,
+/// waiting out roadblocks, and being shuttled — is **idle exposure**: time the
+/// qubit decoheres under the Pauli-twirled idling channel. The uniform noise
+/// model charges every qubit the whole round (`horizon`); this profile is the
+/// per-qubit refinement `noise::ErrorChannel::from_schedule` consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdleExposure {
+    /// Idle exposure of each data qubit, seconds.
+    pub data: Vec<f64>,
+    /// Idle exposure of each X-sector ancilla, seconds.
+    pub x_ancilla: Vec<f64>,
+    /// Idle exposure of each Z-sector ancilla, seconds.
+    pub z_ancilla: Vec<f64>,
+    /// Wall-clock execution time of the round, seconds (every exposure is
+    /// `<= horizon`).
+    pub horizon: f64,
+}
+
+impl IdleExposure {
+    /// The uniform fallback: every qubit exposed for the whole round — exactly
+    /// what the scalar noise model assumes. Used for codesigns that cannot
+    /// produce a per-qubit profile.
+    pub fn uniform(horizon: f64, num_data: usize, num_x: usize, num_z: usize) -> Self {
+        IdleExposure {
+            data: vec![horizon; num_data],
+            x_ancilla: vec![horizon; num_x],
+            z_ancilla: vec![horizon; num_z],
+            horizon,
+        }
+    }
+
+    /// The ancilla exposures in measurement-check order (X-sector checks then
+    /// Z-sector), the layout `noise::ErrorChannel` expects for measurement flip
+    /// rates.
+    pub fn measurement_order(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.x_ancilla.len() + self.z_ancilla.len());
+        out.extend_from_slice(&self.x_ancilla);
+        out.extend_from_slice(&self.z_ancilla);
+        out
+    }
+}
 
 /// Identifier of an ion inside the simulator.
 ///
@@ -41,6 +89,9 @@ pub struct ShuttleSim<'a> {
     trap_free: Vec<f64>,
     /// Earliest time each junction is free.
     junction_free: Vec<f64>,
+    /// Time each ion has spent under active operations (gates; measurement for
+    /// ancillas) — the complement of its idle exposure.
+    ion_busy: Vec<f64>,
     breakdown: ComponentTimes,
     num_shuttles: usize,
     num_rebalances: usize,
@@ -69,6 +120,7 @@ impl<'a> ShuttleSim<'a> {
         for (ion, &trap) in ion_trap.iter().enumerate() {
             occupancy[trap].push(ion);
         }
+        let num_ions = ion_trap.len();
         ShuttleSim {
             topology,
             times,
@@ -78,6 +130,7 @@ impl<'a> ShuttleSim<'a> {
             occupancy,
             trap_free: vec![0.0; num_nodes],
             junction_free: vec![0.0; num_nodes],
+            ion_busy: vec![0.0; num_ions],
             breakdown: ComponentTimes::default(),
             num_shuttles: 0,
             num_rebalances: 0,
@@ -229,8 +282,7 @@ impl<'a> ShuttleSim<'a> {
 
         // Merge into the target trap and reorder.
         let chain = self.chain_len(target) + 1;
-        let merge_and_position =
-            self.times.merge + self.times.swap(chain, (chain / 2).max(1));
+        let merge_and_position = self.times.merge + self.times.swap(chain, (chain / 2).max(1));
         self.breakdown.merge += self.times.merge;
         self.breakdown.swap += self.times.swap(chain, (chain / 2).max(1));
         t += merge_and_position;
@@ -245,7 +297,11 @@ impl<'a> ShuttleSim<'a> {
     /// with room, charging the cost to the rebalance category.
     fn rebalance(&mut self, trap: NodeId, incoming: IonId, now: f64) -> f64 {
         // Choose a victim: prefer an ancilla that is idle, otherwise any resident.
-        let victim = match self.occupancy[trap].iter().copied().find(|&i| i >= self.num_data) {
+        let victim = match self.occupancy[trap]
+            .iter()
+            .copied()
+            .find(|&i| i >= self.num_data)
+        {
             Some(v) => v,
             None => match self.occupancy[trap].first().copied() {
                 Some(v) => v,
@@ -309,6 +365,8 @@ impl<'a> ShuttleSim<'a> {
         let start = self.wait_for_trap(target, arrive);
         let dur = self.times.two_qubit_gate(self.chain_len(target));
         self.breakdown.gate += dur;
+        self.ion_busy[ancilla] += dur;
+        self.ion_busy[data_ion] += dur;
         let end = start + dur;
         self.trap_free[target] = end;
         self.horizon = self.horizon.max(end);
@@ -323,10 +381,31 @@ impl<'a> ShuttleSim<'a> {
         let start = self.wait_for_trap(trap, ready);
         let dur = self.times.measurement + self.times.preparation;
         self.breakdown.measurement += dur;
+        self.ion_busy[ancilla] += dur;
         let end = start + dur;
         self.trap_free[trap] = end;
         self.horizon = self.horizon.max(end);
         end
+    }
+
+    /// The per-qubit idle exposure accumulated so far: `horizon` minus each ion's
+    /// busy time (clamped at zero — an ion gated right up to the horizon has no
+    /// exposure left). Shuttling and roadblock waits count as exposure: the ion
+    /// decoheres in transit exactly as it does parked.
+    pub fn idle_exposure(&self) -> IdleExposure {
+        let horizon = self.horizon;
+        let idle_of = |ion: IonId| (horizon - self.ion_busy[ion]).max(0.0);
+        let num_z = self.ion_busy.len() - self.num_data - self.num_x;
+        IdleExposure {
+            data: (0..self.num_data).map(idle_of).collect(),
+            x_ancilla: (0..self.num_x)
+                .map(|i| idle_of(self.num_data + i))
+                .collect(),
+            z_ancilla: (0..num_z)
+                .map(|i| idle_of(self.num_data + self.num_x + i))
+                .collect(),
+            horizon,
+        }
     }
 }
 
@@ -366,7 +445,10 @@ mod tests {
             .unwrap();
         let end = sim.execute_gate(stab.kind, stab.index, data, 0.0);
         assert_eq!(sim.num_shuttles(), 0);
-        assert!(end > 0.0 && end < 1e-3, "a single gate takes tens of microseconds");
+        assert!(
+            end > 0.0 && end < 1e-3,
+            "a single gate takes tens of microseconds"
+        );
     }
 
     #[test]
@@ -407,7 +489,10 @@ mod tests {
         for (q, &t) in placement.data_trap.iter().enumerate() {
             by_trap.entry(t).or_default().push(q);
         }
-        let (_, qs) = by_trap.into_iter().find(|(_, v)| v.len() >= 2).expect("clustered placement");
+        let (_, qs) = by_trap
+            .into_iter()
+            .find(|(_, v)| v.len() >= 2)
+            .expect("clustered placement");
         let stab_of = |q: usize| {
             code.stabilizers()
                 .into_iter()
@@ -418,7 +503,10 @@ mod tests {
         let s1 = stab_of(qs[1]);
         let e0 = sim.execute_gate(s0.kind, s0.index, qs[0], 0.0);
         let e1 = sim.execute_gate(s1.kind, s1.index, qs[1], 0.0);
-        assert!(e1 > e0 || (e0 - e1).abs() > 1e-12, "gates in one trap serialize");
+        assert!(
+            e1 > e0 || (e0 - e1).abs() > 1e-12,
+            "gates in one trap serialize"
+        );
     }
 
     #[test]
@@ -429,6 +517,94 @@ mod tests {
         let end = sim.measure_ancilla(StabKind::X, 0, 0.0);
         assert!(end >= times.measurement);
         assert_eq!(sim.horizon(), end);
+    }
+
+    #[test]
+    fn idle_exposure_tracks_busy_time() {
+        let (code, topo, times) = setup();
+        let placement = greedy_cluster_placement(&code, &topo);
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        // Before any event everything is at the zero horizon with zero exposure.
+        let fresh = sim.idle_exposure();
+        assert_eq!(fresh.horizon, 0.0);
+        assert!(fresh.data.iter().all(|&t| t == 0.0));
+
+        // One gate: the two participating ions are busy for the gate duration,
+        // everyone else idles for the whole (new) horizon.
+        let stab = code
+            .stabilizers()
+            .into_iter()
+            .next()
+            .expect("stabilizers exist");
+        let data = stab.support[0];
+        let end = sim.execute_gate(stab.kind, stab.index, data, 0.0);
+        let exposure = sim.idle_exposure();
+        assert_eq!(exposure.horizon, end);
+        assert!(
+            exposure.data[data] < end,
+            "gated qubit must have less exposure than the horizon"
+        );
+        let untouched = (0..code.num_qubits())
+            .find(|&q| q != data && !stab.support.contains(&q))
+            .expect("other qubits exist");
+        assert_eq!(
+            exposure.data[untouched], end,
+            "idle qubit is exposed for the whole round"
+        );
+        // Sector vectors have one entry per stabilizer.
+        assert_eq!(exposure.x_ancilla.len(), code.num_x_stabilizers());
+        assert_eq!(exposure.z_ancilla.len(), code.num_z_stabilizers());
+        // Measurement order concatenates X then Z.
+        let flat = exposure.measurement_order();
+        assert_eq!(flat.len(), code.num_stabilizers());
+        assert_eq!(flat[0], exposure.x_ancilla[0]);
+    }
+
+    #[test]
+    fn measurement_reduces_ancilla_exposure() {
+        let (code, topo, times) = setup();
+        let placement = greedy_cluster_placement(&code, &topo);
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        let end = sim.measure_ancilla(StabKind::X, 0, 0.0);
+        let exposure = sim.idle_exposure();
+        assert_eq!(
+            exposure.x_ancilla[0], 0.0,
+            "the measured ancilla was busy the whole horizon"
+        );
+        assert_eq!(exposure.z_ancilla[0], end);
+    }
+
+    #[test]
+    fn exposures_never_exceed_the_horizon() {
+        let (code, topo, times) = setup();
+        let placement = greedy_cluster_placement(&code, &topo);
+        let mut sim = ShuttleSim::new(&code, &topo, &placement, &times);
+        for stab in code.stabilizers() {
+            for &d in &stab.support {
+                sim.execute_gate(stab.kind, stab.index, d, 0.0);
+            }
+            sim.measure_ancilla(stab.kind, stab.index, sim.horizon());
+        }
+        let exposure = sim.idle_exposure();
+        for t in exposure
+            .data
+            .iter()
+            .chain(&exposure.x_ancilla)
+            .chain(&exposure.z_ancilla)
+        {
+            assert!(
+                (0.0..=exposure.horizon).contains(t),
+                "exposure {t} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_fallback_exposes_everything_for_the_horizon() {
+        let e = IdleExposure::uniform(0.25, 3, 2, 1);
+        assert_eq!(e.data, vec![0.25; 3]);
+        assert_eq!(e.measurement_order(), vec![0.25; 3]);
+        assert_eq!(e.horizon, 0.25);
     }
 
     #[test]
@@ -444,7 +620,11 @@ mod tests {
         let start_trap = sim.ion_location(anc);
         // Move to the adjacent trap and then to the opposite side; the long move takes
         // strictly longer.
-        let near = traps.iter().copied().find(|&t| topo.distance(start_trap, t) == Some(2)).unwrap();
+        let near = traps
+            .iter()
+            .copied()
+            .find(|&t| topo.distance(start_trap, t) == Some(2))
+            .unwrap();
         let t_near = sim.shuttle_ion(anc, near, 0.0);
         let far = traps
             .iter()

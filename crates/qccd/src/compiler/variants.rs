@@ -11,7 +11,8 @@
 //! baseline; only the gate listing (and therefore the derived dependency DAG and the
 //! shuttling pattern) differs.
 
-use crate::compiler::baseline::run_static_ejf;
+use crate::compiler::baseline::run_static_ejf_profiled;
+use crate::compiler::sim::IdleExposure;
 use crate::compiler::CompiledRound;
 use crate::hardware::Topology;
 use crate::placement::greedy_cluster_placement;
@@ -26,6 +27,16 @@ pub fn compile_baseline2(
     times: &OperationTimes,
     schedule: &Schedule,
 ) -> CompiledRound {
+    compile_baseline2_profiled(code, topology, times, schedule).0
+}
+
+/// [`compile_baseline2`] plus the per-qubit [`IdleExposure`] of the compiled round.
+pub fn compile_baseline2_profiled(
+    code: &CssCode,
+    topology: &Topology,
+    times: &OperationTimes,
+    schedule: &Schedule,
+) -> (CompiledRound, IdleExposure) {
     let placement = greedy_cluster_placement(code, topology);
     let mut gates: Vec<GateOp> = schedule.slices().iter().flatten().copied().collect();
     // Order stabilizer batches by the ancilla's home trap (so consecutive ancilla
@@ -39,7 +50,7 @@ pub fn compile_baseline2(
             placement.data_trap[g.data],
         )
     });
-    run_static_ejf(
+    run_static_ejf_profiled(
         code,
         topology,
         &placement,
@@ -56,12 +67,22 @@ pub fn compile_baseline3(
     times: &OperationTimes,
     schedule: &Schedule,
 ) -> CompiledRound {
+    compile_baseline3_profiled(code, topology, times, schedule).0
+}
+
+/// [`compile_baseline3`] plus the per-qubit [`IdleExposure`] of the compiled round.
+pub fn compile_baseline3_profiled(
+    code: &CssCode,
+    topology: &Topology,
+    times: &OperationTimes,
+    schedule: &Schedule,
+) -> (CompiledRound, IdleExposure) {
     let placement = greedy_cluster_placement(code, topology);
     let mut gates: Vec<GateOp> = schedule.slices().iter().flatten().copied().collect();
     // Batch gates by destination trap across stabilizers, so every ancilla headed to
     // the same trap does its work while already there and excess shuttling is avoided.
     gates.sort_by_key(|g| (placement.data_trap[g.data], g.kind, g.stabilizer));
-    run_static_ejf(
+    run_static_ejf_profiled(
         code,
         topology,
         &placement,
@@ -126,7 +147,11 @@ mod tests {
         let topo = baseline_grid(code.num_qubits(), 5);
         let times = OperationTimes::default();
         let sched = serial_schedule(&code);
-        assert!(compile_baseline2(&code, &topo, &times, &sched).codesign.contains("baseline 2"));
-        assert!(compile_baseline3(&code, &topo, &times, &sched).codesign.contains("baseline 3"));
+        assert!(compile_baseline2(&code, &topo, &times, &sched)
+            .codesign
+            .contains("baseline 2"));
+        assert!(compile_baseline3(&code, &topo, &times, &sched)
+            .codesign
+            .contains("baseline 3"));
     }
 }

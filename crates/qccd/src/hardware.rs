@@ -124,7 +124,10 @@ impl Topology {
     ///
     /// Panics if either node id is out of range or if the edge already exists.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
-        assert!(a < self.nodes.len() && b < self.nodes.len(), "node id out of range");
+        assert!(
+            a < self.nodes.len() && b < self.nodes.len(),
+            "node id out of range"
+        );
         assert!(a != b, "self loops are not allowed");
         assert!(!self.adjacency[a].contains(&b), "duplicate edge {a}-{b}");
         self.adjacency[a].push(b);
@@ -157,12 +160,16 @@ impl Topology {
 
     /// Ids of all trap nodes, in insertion order.
     pub fn traps(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).filter(|&i| self.nodes[i].is_trap()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_trap())
+            .collect()
     }
 
     /// Ids of all junction nodes, in insertion order.
     pub fn junctions(&self) -> Vec<NodeId> {
-        (0..self.nodes.len()).filter(|&i| !self.nodes[i].is_trap()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| !self.nodes[i].is_trap())
+            .collect()
     }
 
     /// Number of traps.

@@ -39,7 +39,7 @@ pub mod timing;
 pub mod topology;
 pub mod wiring;
 
-pub use compiler::{Codesign, CodesignRegistry, CompiledRound, ComponentTimes};
+pub use compiler::{Codesign, CodesignRegistry, CompiledRound, ComponentTimes, IdleExposure};
 pub use hardware::{NodeId, NodeKind, Topology, TopologyKind};
 pub use placement::Placement;
 pub use timing::{OperationTimes, SwapKind};

@@ -141,7 +141,11 @@ pub fn greedy_cluster_placement(code: &CssCode, topology: &Topology) -> Placemen
         for relax in [false, true] {
             for offset in 0..traps.len() {
                 let i = (cursor + offset) % traps.len();
-                let limit = if relax { capacity[i] } else { capacity[i].saturating_sub(reserve[i]) };
+                let limit = if relax {
+                    capacity[i]
+                } else {
+                    capacity[i].saturating_sub(reserve[i])
+                };
                 if load[i] < limit {
                     data_trap[q] = traps[i];
                     load[i] += 1;
@@ -186,7 +190,10 @@ pub fn greedy_cluster_placement(code: &CssCode, topology: &Topology) -> Placemen
                     .map(|i| (topology.distance(anchor, traps[i]).unwrap_or(usize::MAX), i))
                     .collect();
                 candidates.sort_unstable();
-                let (_, i) = candidates.first().copied().expect("capacity was pre-checked");
+                let (_, i) = candidates
+                    .first()
+                    .copied()
+                    .expect("capacity was pre-checked");
                 load[i] += 1;
                 traps[i]
             })
@@ -235,9 +242,15 @@ pub fn round_robin_placement(code: &CssCode, topology: &Topology) -> Placement {
             }
         }
     };
-    let data_trap: Vec<NodeId> = (0..code.num_qubits()).map(|_| next_slot(&mut load)).collect();
-    let x_ancilla_trap: Vec<NodeId> = (0..code.num_x_stabilizers()).map(|_| next_slot(&mut load)).collect();
-    let z_ancilla_trap: Vec<NodeId> = (0..code.num_z_stabilizers()).map(|_| next_slot(&mut load)).collect();
+    let data_trap: Vec<NodeId> = (0..code.num_qubits())
+        .map(|_| next_slot(&mut load))
+        .collect();
+    let x_ancilla_trap: Vec<NodeId> = (0..code.num_x_stabilizers())
+        .map(|_| next_slot(&mut load))
+        .collect();
+    let z_ancilla_trap: Vec<NodeId> = (0..code.num_z_stabilizers())
+        .map(|_| next_slot(&mut load))
+        .collect();
     Placement {
         data_trap,
         x_ancilla_trap,
@@ -285,7 +298,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits * 4 >= code.num_stabilizers(), "only {hits} ancillas co-located");
+        assert!(
+            hits * 4 >= code.num_stabilizers(),
+            "only {hits} ancillas co-located"
+        );
     }
 
     #[test]
@@ -293,7 +309,10 @@ mod tests {
         let code = small_code();
         let topo = ring(10, 4);
         let p = round_robin_placement(&code, &topo);
-        assert_eq!(p.data_trap.len() + p.x_ancilla_trap.len() + p.z_ancilla_trap.len(), 25);
+        assert_eq!(
+            p.data_trap.len() + p.x_ancilla_trap.len() + p.z_ancilla_trap.len(),
+            25
+        );
         assert!(p.traps_used() <= 10);
     }
 

@@ -152,7 +152,10 @@ impl OperationTimes {
     ///
     /// Panics if `r` is not in `[0, 1)`.
     pub fn scaled(&self, r: f64) -> Self {
-        assert!((0.0..1.0).contains(&r), "reduction fraction must be in [0,1), got {r}");
+        assert!(
+            (0.0..1.0).contains(&r),
+            "reduction fraction must be in [0,1), got {r}"
+        );
         let f = 1.0 - r;
         OperationTimes {
             split: self.split * f,
@@ -178,7 +181,10 @@ impl OperationTimes {
     ///
     /// Panics if `r` is not in `[0, 1]`.
     pub fn with_junction_reduction(&self, r: f64) -> Self {
-        assert!((0.0..=1.0).contains(&r), "reduction fraction must be in [0,1], got {r}");
+        assert!(
+            (0.0..=1.0).contains(&r),
+            "reduction fraction must be in [0,1], got {r}"
+        );
         let f = 1.0 - r;
         OperationTimes {
             junction_deg2: self.junction_deg2 * f,
@@ -190,7 +196,10 @@ impl OperationTimes {
 
     /// Returns a copy using the given swap mechanism.
     pub fn with_swap_kind(&self, kind: SwapKind) -> Self {
-        OperationTimes { swap_kind: kind, ..*self }
+        OperationTimes {
+            swap_kind: kind,
+            ..*self
+        }
     }
 }
 

@@ -82,7 +82,10 @@ pub fn grid_with_side(l: usize, capacity: usize) -> Topology {
 pub fn alternate_grid(num_data: usize, capacity: usize) -> Topology {
     let l = (num_data as f64).sqrt().ceil() as usize;
     let l = l.max(1);
-    let mut t = Topology::new(format!("alternate-grid {l}x{l}"), TopologyKind::AlternateGrid);
+    let mut t = Topology::new(
+        format!("alternate-grid {l}x{l}"),
+        TopologyKind::AlternateGrid,
+    );
     let mut trap_id = vec![vec![0 as NodeId; l]; l];
     for row in trap_id.iter_mut() {
         for slot in row.iter_mut() {
@@ -206,7 +209,10 @@ pub fn ring(num_traps: usize, capacity: usize) -> Topology {
 /// A single trap that holds every ion of the code (data plus ancilla); used in the
 /// Fig. 13 "tight architectures" sweep end point of one trap and `n + m/2` ions.
 pub fn single_trap(total_ions: usize) -> Topology {
-    let mut t = Topology::new(format!("single-trap capacity={total_ions}"), TopologyKind::SingleTrap);
+    let mut t = Topology::new(
+        format!("single-trap capacity={total_ions}"),
+        TopologyKind::SingleTrap,
+    );
     t.add_trap(total_ions);
     t
 }
@@ -215,7 +221,10 @@ pub fn single_trap(total_ions: usize) -> Topology {
 /// shuttling paths. Not physically realizable (trap degree ≫ 2); used only to bound
 /// the achievable parallelism.
 pub fn fully_connected(num_data: usize, capacity: usize) -> Topology {
-    let mut t = Topology::new(format!("OPT fully-connected n={num_data}"), TopologyKind::FullyConnected);
+    let mut t = Topology::new(
+        format!("OPT fully-connected n={num_data}"),
+        TopologyKind::FullyConnected,
+    );
     let traps: Vec<NodeId> = (0..num_data).map(|_| t.add_trap(capacity)).collect();
     for i in 0..num_data {
         for j in (i + 1)..num_data {
@@ -262,7 +271,10 @@ mod tests {
         // l = 15: 225 traps.
         assert_eq!(t.num_traps(), 225);
         assert!(t.is_connected());
-        assert!(t.is_physically_realizable(), "traps deg<=2, junctions deg<=4");
+        assert!(
+            t.is_physically_realizable(),
+            "traps deg<=2, junctions deg<=4"
+        );
     }
 
     #[test]

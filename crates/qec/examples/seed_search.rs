@@ -4,9 +4,14 @@ fn main() {
         let mut found = None;
         for seed in 0..200000u64 {
             let c = qec::classical::ClassicalCode::gallager_ldpc(n, 3, 4, seed);
-            if c.dimension() != k { continue; }
+            if c.dimension() != k {
+                continue;
+            }
             if let Some(dist) = c.minimum_distance() {
-                if dist >= d { found = Some((seed, dist)); break; }
+                if dist >= d {
+                    found = Some((seed, dist));
+                    break;
+                }
             }
         }
         println!("n={n} k={k} want_d={d} -> {:?}", found);

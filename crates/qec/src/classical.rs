@@ -22,7 +22,10 @@ pub struct ClassicalCode {
 impl ClassicalCode {
     /// Creates a classical code from a parity-check matrix.
     pub fn new(name: impl Into<String>, h: BitMat) -> Self {
-        ClassicalCode { name: name.into(), h }
+        ClassicalCode {
+            name: name.into(),
+            h,
+        }
     }
 
     /// Returns the code's name.
@@ -68,7 +71,10 @@ impl ClassicalCode {
         if k == 0 {
             return None;
         }
-        assert!(k <= 24, "minimum_distance enumeration limited to k <= 24, got k = {k}");
+        assert!(
+            k <= 24,
+            "minimum_distance enumeration limited to k <= 24, got k = {k}"
+        );
         let basis = self.h.null_space();
         debug_assert_eq!(basis.len(), k);
         let n = self.block_length();
@@ -89,7 +95,11 @@ impl ClassicalCode {
 
     /// Returns `[n, k, d]` with `d = None` when the code has no nonzero codewords.
     pub fn parameters(&self) -> (usize, usize, Option<usize>) {
-        (self.block_length(), self.dimension(), self.minimum_distance())
+        (
+            self.block_length(),
+            self.dimension(),
+            self.minimum_distance(),
+        )
     }
 
     /// The binary repetition code of length `n` (parity checks between adjacent bits).
@@ -100,7 +110,10 @@ impl ClassicalCode {
     pub fn repetition(n: usize) -> Self {
         assert!(n >= 2, "repetition code needs n >= 2");
         let supports: Vec<Vec<usize>> = (0..n - 1).map(|i| vec![i, i + 1]).collect();
-        ClassicalCode::new(format!("repetition[{n}]"), BitMat::from_row_supports(n - 1, n, &supports))
+        ClassicalCode::new(
+            format!("repetition[{n}]"),
+            BitMat::from_row_supports(n - 1, n, &supports),
+        )
     }
 
     /// The `[7,4,3]` Hamming code.

@@ -122,7 +122,11 @@ pub fn edge_color_bipartite(num_left: usize, num_right: usize, edges: &[Edge]) -
         }
         for &edge_idx in &path {
             let (el, er) = edges[edge_idx];
-            let new = if colors[edge_idx] == alpha { beta } else { alpha };
+            let new = if colors[edge_idx] == alpha {
+                beta
+            } else {
+                alpha
+            };
             colors[edge_idx] = new;
             color_at_left[el].insert(new, edge_idx);
             color_at_right[er].insert(new, edge_idx);
@@ -200,7 +204,10 @@ mod tests {
                 }
             }
             let c = edge_color_bipartite(nl, nr, &edges);
-            assert!(is_proper_coloring(&edges, &c), "trial {trial} produced an improper coloring");
+            assert!(
+                is_proper_coloring(&edges, &c),
+                "trial {trial} produced an improper coloring"
+            );
             // Optimality: number of colors equals maximum degree.
             let mut dl = vec![0; nl];
             let mut dr = vec![0; nr];

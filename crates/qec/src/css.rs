@@ -191,12 +191,18 @@ impl CssCode {
 
     /// Maximum stabilizer weight in the X sector.
     pub fn max_x_weight(&self) -> usize {
-        (0..self.hx.num_rows()).map(|r| self.hx.row_weight(r)).max().unwrap_or(0)
+        (0..self.hx.num_rows())
+            .map(|r| self.hx.row_weight(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum stabilizer weight in the Z sector.
     pub fn max_z_weight(&self) -> usize {
-        (0..self.hz.num_rows()).map(|r| self.hz.row_weight(r)).max().unwrap_or(0)
+        (0..self.hz.num_rows())
+            .map(|r| self.hz.row_weight(r))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Logical X operators (one per logical qubit), as supports over data qubits.
@@ -365,17 +371,26 @@ mod tests {
     fn steane_logicals_commute_with_stabilizers() {
         let c = steane();
         for lx in c.logical_x() {
-            assert!(c.z_syndrome(lx).iter().all(|&b| !b), "logical X commutes with Z checks");
+            assert!(
+                c.z_syndrome(lx).iter().all(|&b| !b),
+                "logical X commutes with Z checks"
+            );
         }
         for lz in c.logical_z() {
-            assert!(c.x_syndrome(lz).iter().all(|&b| !b), "logical Z commutes with X checks");
+            assert!(
+                c.x_syndrome(lz).iter().all(|&b| !b),
+                "logical Z commutes with X checks"
+            );
         }
     }
 
     #[test]
     fn steane_logical_pairing() {
         let c = steane();
-        assert!(dot(&c.logical_x()[0], &c.logical_z()[0]), "paired logicals anticommute");
+        assert!(
+            dot(&c.logical_x()[0], &c.logical_z()[0]),
+            "paired logicals anticommute"
+        );
     }
 
     #[test]

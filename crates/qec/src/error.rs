@@ -33,7 +33,10 @@ impl fmt::Display for QecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QecError::StabilizersDoNotCommute { name } => {
-                write!(f, "stabilizers of code `{name}` do not commute (Hx * Hz^T != 0)")
+                write!(
+                    f,
+                    "stabilizers of code `{name}` do not commute (Hx * Hz^T != 0)"
+                )
             }
             QecError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             QecError::InvalidParameters { context } => write!(f, "invalid parameters: {context}"),
@@ -50,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        let e = QecError::ShapeMismatch { context: "Hx vs Hz".into() };
+        let e = QecError::ShapeMismatch {
+            context: "Hx vs Hz".into(),
+        };
         assert!(!e.to_string().is_empty());
     }
 

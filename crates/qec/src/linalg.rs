@@ -79,7 +79,10 @@ impl BitMat {
         let mut m = Self::zeros(rows, cols);
         for (r, support) in supports.iter().enumerate() {
             for &c in support {
-                assert!(c < cols, "column index {c} out of bounds for {cols} columns");
+                assert!(
+                    c < cols,
+                    "column index {c} out of bounds for {cols} columns"
+                );
                 m.set(r, c, true);
             }
         }
@@ -149,7 +152,10 @@ impl BitMat {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         let w = self.data[r * self.words_per_row + c / WORD_BITS];
         (w >> (c % WORD_BITS)) & 1 == 1
     }
@@ -161,7 +167,10 @@ impl BitMat {
     /// Panics if `r` or `c` is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         let idx = r * self.words_per_row + c / WORD_BITS;
         let mask = 1u64 << (c % WORD_BITS);
         if value {
@@ -174,7 +183,10 @@ impl BitMat {
     /// Flips (XORs with 1) the bit at `(r, c)`.
     #[inline]
     pub fn flip(&mut self, r: usize, c: usize) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         let idx = r * self.words_per_row + c / WORD_BITS;
         self.data[idx] ^= 1u64 << (c % WORD_BITS);
     }
@@ -210,7 +222,10 @@ impl BitMat {
 
     /// XORs row `src` into row `dst` (`dst += src` over GF(2)).
     pub fn xor_row_into(&mut self, src: usize, dst: usize) {
-        assert!(src < self.rows && dst < self.rows, "row index out of bounds");
+        assert!(
+            src < self.rows && dst < self.rows,
+            "row index out of bounds"
+        );
         if src == dst {
             for w in 0..self.words_per_row {
                 self.data[dst * self.words_per_row + w] = 0;
@@ -230,7 +245,8 @@ impl BitMat {
             return;
         }
         for w in 0..self.words_per_row {
-            self.data.swap(a * self.words_per_row + w, b * self.words_per_row + w);
+            self.data
+                .swap(a * self.words_per_row + w, b * self.words_per_row + w);
         }
     }
 
@@ -343,7 +359,10 @@ impl BitMat {
     ///
     /// Panics if column counts differ.
     pub fn vconcat(&self, other: &BitMat) -> BitMat {
-        assert_eq!(self.cols, other.cols, "column counts must match for vconcat");
+        assert_eq!(
+            self.cols, other.cols,
+            "column counts must match for vconcat"
+        );
         let mut out = BitMat::zeros(self.rows + other.rows, self.cols);
         for r in 0..self.rows {
             for c in 0..self.cols {

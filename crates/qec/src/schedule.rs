@@ -284,7 +284,7 @@ pub fn parallel_speedup(code: &CssCode) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bb::{bivariate_bicycle, bb_72_12_6_parameters};
+    use crate::bb::{bb_72_12_6_parameters, bivariate_bicycle};
     use crate::classical::ClassicalCode;
     use crate::hgp::square_hypergraph_product;
 

@@ -156,19 +156,21 @@ mod tests {
     fn iter_batched_pairs_setup_with_routine() {
         let mut setups = 0usize;
         let mut runs = 0usize;
-        Criterion::default().sample_size(5).bench_function("batched", |b| {
-            b.iter_batched(
-                || {
-                    setups += 1;
-                    setups
-                },
-                |input| {
-                    runs += 1;
-                    input * 2
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        Criterion::default()
+            .sample_size(5)
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || {
+                        setups += 1;
+                        setups
+                    },
+                    |input| {
+                        runs += 1;
+                        input * 2
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
         assert_eq!(setups, 5);
         assert_eq!(runs, 5);
     }

@@ -118,7 +118,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+            panic!(
+                "prop_filter rejected 1000 candidates in a row: {}",
+                self.whence
+            );
         }
     }
 

@@ -60,13 +60,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit_level_ler = failures as f64 / shots as f64;
     println!("circuit-level Pauli-frame simulation of {code}");
     println!("  physical error rate p = {p:.0e}, {shots} shots");
-    println!("  schedule depth: {} timeslices, {} gates", schedule.depth(), schedule.num_gates());
+    println!(
+        "  schedule depth: {} timeslices, {} gates",
+        schedule.depth(),
+        schedule.num_gates()
+    );
     println!("  logical failure fraction: {circuit_level_ler:.3e} ({failures} failures)");
 
     // Compare against the effective-error-rate model with zero extra latency.
     let config = MemoryConfig::with_shots(shots);
     let code_capacity = logical_error_rate(&code, p, 0.0, &config);
-    println!("  effective-error-rate model at the same p: {:.3e}", code_capacity.ler);
+    println!(
+        "  effective-error-rate model at the same p: {:.3e}",
+        code_capacity.ler
+    );
     println!(
         "  (circuit-level noise is harsher because every CX propagates faults; the\n   \
          two models bracket the paper's hardware-aware noise model)"

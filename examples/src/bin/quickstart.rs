@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = MemoryConfig::with_shots(1_000);
     let baseline_ler = ler_for_round(&code, &baseline, p, &config);
     let cyclone_ler = ler_for_round(&code, &cyclone, p, &config);
-    println!("\nlogical error rate at p = {p:.0e} ({} shots):", config.shots);
+    println!(
+        "\nlogical error rate at p = {p:.0e} ({} shots):",
+        config.shots
+    );
     println!(
         "  baseline: {:.3e}  (latency {:.1} ms)",
         baseline_ler.ler,

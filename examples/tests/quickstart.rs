@@ -17,15 +17,28 @@ fn quickstart_flow_runs_end_to_end_with_zero_roadblocks() {
     let cyclone = cyclone_round(&code, &times);
 
     // The headline claim: Cyclone is roadblock-free; the baseline grid is not.
-    assert_eq!(cyclone.roadblock_events, 0, "Cyclone must never hit a roadblock");
-    assert!(baseline.roadblock_events > 0, "the baseline grid should roadblock");
+    assert_eq!(
+        cyclone.roadblock_events, 0,
+        "Cyclone must never hit a roadblock"
+    );
+    assert!(
+        baseline.roadblock_events > 0,
+        "the baseline grid should roadblock"
+    );
 
     // Temporal and spatial wins reported by the quickstart output.
     assert!(cyclone.execution_time > 0.0);
-    assert!(cyclone.execution_time < baseline.execution_time, "Cyclone must be faster");
+    assert!(
+        cyclone.execution_time < baseline.execution_time,
+        "Cyclone must be faster"
+    );
     assert!(cyclone.spacetime_cost() < baseline.spacetime_cost());
     assert!(cyclone.num_traps < baseline.num_traps);
-    assert_eq!(cyclone.num_ancilla * 2, baseline.num_ancilla, "Cyclone halves the ancillas");
+    assert_eq!(
+        cyclone.num_ancilla * 2,
+        baseline.num_ancilla,
+        "Cyclone halves the ancillas"
+    );
 
     // The LER comparison at the quickstart's operating point must complete and
     // stay deterministic for the fixed seed (fewer shots than the example binary
