@@ -346,7 +346,30 @@ fn main() {
          Regenerate with more sampling: `CYCLONE_SHOTS=20000 cargo bench -p bench \
          --bench experiments_md` (or `-- --shots 20000`); add `--target-rse 0.05 \
          --min-failures 400` for publication-grade uniform precision.\n\
-         `CYCLONE_FULL=1` extends every sweep to the full code catalog.\n",
+         `CYCLONE_FULL=1` extends every sweep to the full code catalog.\n\n\
+         ## Decoding hot path\n\n\
+         Every Monte-Carlo shot above runs through the bit-sliced batch sampler\n\
+         (`MemoryExperiment::sample_batch_with`): 64 shots per `u64` word —\n\
+         data-qubit flips, per-check measurement flips, and word-level syndrome\n\
+         extraction all operate on whole words, zero-syndrome lanes skip BP\n\
+         entirely, and a per-syndrome decode cache replays repeated syndromes\n\
+         as a word-compare plus a copy. Each lane still consumes its own seeded\n\
+         per-shot stream, so every table in this file is bit-identical to the\n\
+         scalar per-shot path at any thread count and any batch size (pinned by\n\
+         a property test across the code catalog × channel shapes × batch\n\
+         sizes).\n\n\
+         Error rates are validated at `ErrorChannel` construction: rates above\n\
+         the depolarizing maximum (0.75) saturate there with a recorded\n\
+         `saturated()` flag instead of being silently clamped mid-sample.\n\n\
+         `BENCH_decoder.json` (written by `cargo bench -p bench --bench\n\
+         decoder_hotpath`) records the scalar and batch shot rates per channel\n\
+         shape (`channel_shots_per_sec`, `batch_shots_per_sec`), the decode\n\
+         cache hit rate (`batch_cache_hit_rate`), the worst structured-channel\n\
+         penalty vs the uniform batch rate (`structured_penalty_vs_uniform`),\n\
+         and `speedup_vs_pre_pr` computed at run time from the recorded\n\
+         `pre_pr_baseline_shots_per_sec` field. `CYCLONE_ENFORCE=1` (set in CI)\n\
+         turns the recorded thresholds into hard assertions alongside the\n\
+         always-on zero-steady-state-allocation check.\n",
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");

@@ -14,6 +14,22 @@
 use crate::scratch::DecoderScratch;
 use crate::sparse::{SparseBinMat, TannerGraph};
 
+/// A 64-bit FNV-1a digest over the exact bit patterns of a priors vector — the
+/// content key of the priors-LLR cache (see
+/// [`BeliefPropagation::decode_with_priors_keyed_into`]). Callers that hold a
+/// priors buffer across many decodes compute this once per rebuild and pay a
+/// single `u64` compare per decode instead of an O(n) float comparison.
+pub fn priors_digest(priors: &[f64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in priors {
+        for byte in p.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
 /// Result of a BP run (owning variant returned by the allocating wrappers).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BpResult {
@@ -133,7 +149,7 @@ impl BeliefPropagation {
             scratch.channel_llr.clear();
             scratch.channel_llr.resize(n, llr);
             scratch.cached_uniform = Some((p, n));
-            scratch.cached_priors.clear();
+            scratch.cached_priors_key = None;
         }
         self.propagate(syndrome, scratch)
     }
@@ -141,9 +157,12 @@ impl BeliefPropagation {
     /// Runs BP with per-bit prior error probabilities, borrowing all working buffers
     /// from `scratch` (see [`BeliefPropagation::decode_into`]).
     ///
-    /// The LLR conversion is cached against the exact priors vector, so repeated
-    /// decodes with the same priors (the structured-channel Monte-Carlo steady
-    /// state) pay one equality scan instead of one `ln` per bit.
+    /// The LLR conversion is cached against a content digest of the priors
+    /// ([`priors_digest`], computed here per call), so repeated decodes with equal
+    /// priors — even from a rebuilt buffer — hit without an O(n) float compare.
+    /// Callers that hold their priors fixed across many decodes should precompute
+    /// the digest once and use
+    /// [`BeliefPropagation::decode_with_priors_keyed_into`] instead.
     ///
     /// # Panics
     ///
@@ -154,17 +173,41 @@ impl BeliefPropagation {
         priors: &[f64],
         scratch: &mut DecoderScratch,
     ) -> BpStatus {
+        self.decode_with_priors_keyed_into(syndrome, priors, priors_digest(priors), scratch)
+    }
+
+    /// [`BeliefPropagation::decode_with_priors_into`] with a caller-precomputed
+    /// [`priors_digest`] key, making the steady-state cache hit a single `u64`
+    /// compare. `key` must be the digest of `priors`; passing a stale key for a
+    /// changed buffer silently decodes with the previously cached LLRs.
+    ///
+    /// Priors are validated (the `(0, 1)` range check) only when the cache misses
+    /// and the LLR conversion actually runs — by construction a hit means an
+    /// identical, already-validated vector was converted before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions do not match, or — on a cache miss — if a prior is
+    /// outside `(0, 1)`.
+    pub fn decode_with_priors_keyed_into(
+        &self,
+        syndrome: &[bool],
+        priors: &[f64],
+        key: u64,
+        scratch: &mut DecoderScratch,
+    ) -> BpStatus {
         let n = self.h.num_cols();
         assert_eq!(priors.len(), n, "one prior per variable required");
-        if scratch.cached_priors != priors {
+        debug_assert_eq!(key, priors_digest(priors), "key is not the priors digest");
+        if scratch.cached_priors_key != Some((key, n)) {
             scratch.cached_uniform = None;
             scratch.channel_llr.clear();
             scratch.channel_llr.extend(priors.iter().map(|&p| {
                 assert!(p > 0.0 && p < 1.0, "priors must be in (0,1)");
                 ((1.0 - p) / p).ln()
             }));
-            scratch.cached_priors.clear();
-            scratch.cached_priors.extend_from_slice(priors);
+            scratch.cached_priors_key = Some((key, n));
+            scratch.priors_rebuilds += 1;
         }
         self.propagate(syndrome, scratch)
     }
@@ -386,9 +429,10 @@ mod tests {
 
     #[test]
     fn priors_llr_cache_hits_and_invalidates() {
-        // The per-bit-priors LLR conversion is cached against the exact priors
-        // vector; repeated decodes with the same priors hit, and any interleaving
-        // with different priors or a uniform decode rebuilds correctly.
+        // The per-bit-priors LLR conversion is cached against a content digest;
+        // repeated decodes with equal priors hit (the rebuild counter stays put),
+        // and any interleaving with different priors or a uniform decode rebuilds
+        // correctly.
         let h = repetition_check(5);
         let bp = BeliefPropagation::new(h.clone(), 20);
         let mut e = vec![false; 5];
@@ -399,18 +443,31 @@ mod tests {
         let mut scratch = DecoderScratch::new();
 
         let first = bp.decode_with_priors_into(&s, &priors_a, &mut scratch);
+        assert_eq!(scratch.priors_rebuilds(), 1);
         let llr_after_first = scratch.channel_llr.clone();
         // Same priors again: the cached LLRs are reused and the result is stable.
         let second = bp.decode_with_priors_into(&s, &priors_a, &mut scratch);
         assert_eq!(first, second);
+        assert_eq!(scratch.priors_rebuilds(), 1);
         assert_eq!(scratch.channel_llr, llr_after_first);
         assert_eq!(
             scratch.error(),
             bp.decode_with_priors(&s, &priors_a).error.as_slice()
         );
+        // A *rebuilt* but value-equal buffer hits too — the digest keys on content,
+        // not on the caller's allocation.
+        let rebuilt = priors_a.clone();
+        let _ = bp.decode_with_priors_into(&s, &rebuilt, &mut scratch);
+        assert_eq!(scratch.priors_rebuilds(), 1);
+        // The precomputed-key entry point hits the same cache.
+        let key = priors_digest(&priors_a);
+        let keyed = bp.decode_with_priors_keyed_into(&s, &priors_a, key, &mut scratch);
+        assert_eq!(keyed, first);
+        assert_eq!(scratch.priors_rebuilds(), 1);
 
         // Different priors must rebuild ...
         let _ = bp.decode_with_priors_into(&s, &priors_b, &mut scratch);
+        assert_eq!(scratch.priors_rebuilds(), 2);
         assert_eq!(
             scratch.error(),
             bp.decode_with_priors(&s, &priors_b).error.as_slice()
@@ -419,6 +476,7 @@ mod tests {
         let _ = bp.decode_into(&s, 0.05, &mut scratch);
         let after_uniform = bp.decode_with_priors_into(&s, &priors_a, &mut scratch);
         assert_eq!(after_uniform, first);
+        assert_eq!(scratch.priors_rebuilds(), 3);
         assert_eq!(
             scratch.error(),
             bp.decode_with_priors(&s, &priors_a).error.as_slice()
@@ -426,5 +484,14 @@ mod tests {
         // ... and the uniform cache still works after priors decodes.
         let _ = bp.decode_into(&s, 0.05, &mut scratch);
         assert_eq!(scratch.error(), bp.decode(&s, 0.05).error.as_slice());
+    }
+
+    #[test]
+    fn priors_digest_is_content_sensitive() {
+        let a = priors_digest(&[0.1, 0.2]);
+        assert_eq!(a, priors_digest(&[0.1, 0.2]));
+        assert_ne!(a, priors_digest(&[0.2, 0.1]));
+        assert_ne!(a, priors_digest(&[0.1, 0.2000001]));
+        assert_ne!(a, priors_digest(&[0.1]));
     }
 }

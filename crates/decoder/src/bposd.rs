@@ -121,6 +121,28 @@ impl BpOsdDecoder {
         self.finish_decode(syndrome, bp_status, scratch)
     }
 
+    /// [`BpOsdDecoder::decode_with_priors_into`] with a caller-precomputed
+    /// [`crate::bp::priors_digest`] key: the steady-state priors-LLR cache hit
+    /// becomes a single `u64` compare (see
+    /// [`BeliefPropagation::decode_with_priors_keyed_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the syndrome length does not match the number of checks, or — on
+    /// a priors-cache miss — if a prior is outside `(0, 1)`.
+    pub fn decode_with_priors_keyed_into(
+        &self,
+        syndrome: &[bool],
+        priors: &[f64],
+        key: u64,
+        scratch: &mut DecoderScratch,
+    ) -> DecodeStatus {
+        let bp_status = self
+            .bp
+            .decode_with_priors_keyed_into(syndrome, priors, key, scratch);
+        self.finish_decode(syndrome, bp_status, scratch)
+    }
+
     /// Shared tail of the `decode_into` variants: accept a converged BP answer or
     /// run the ordered-statistics fallback on the BP soft output.
     fn finish_decode(

@@ -1,0 +1,191 @@
+//! A deterministic per-syndrome decode cache for the batch Monte-Carlo hot path.
+//!
+//! BP+OSD decoding is a pure function of `(parity-check matrix, priors, syndrome)`
+//! — no randomness, no history. Monte-Carlo sampling at physical rates feeds the
+//! decoder a heavily repeated syndrome distribution (at `p ~ 3e-3` on
+//! `[[72,12,6]]`, most non-trivial shots carry a single data error or a single
+//! measurement flip, i.e. one of ~100 distinct syndromes per sector), so a small
+//! direct-mapped cache keyed by the packed syndrome bits turns the vast majority
+//! of decodes into a word-compare plus a copy. Because every entry stores the
+//! exact output the decoder would produce, cache hits are bit-identical to cache
+//! misses: estimates do not depend on hit order, eviction pattern, thread count,
+//! or batch size.
+//!
+//! The cache is context-tagged: [`DecodeCache::ensure`] clears it whenever the
+//! decoding context (matrix shape + priors identity) changes, so a scratch that
+//! migrates between sectors or channels can never replay a stale correction.
+
+/// Number of direct-mapped slots (power of two). Sized to hold the popular
+/// syndromes of the catalog codes — singles plus most of the two-event tail,
+/// a few thousand distinct at physical rates — while keeping the per-worker
+/// footprint small (SLOTS × (syndrome + correction) words, ~400 KiB here).
+const SLOTS: usize = 16384;
+
+/// A direct-mapped syndrome → correction cache for one decoding context.
+#[derive(Debug, Clone, Default)]
+pub struct DecodeCache {
+    /// Context tag: digest of the decoding context (sector matrix shape + priors
+    /// identity). A mismatch in [`DecodeCache::ensure`] clears every slot.
+    tag: u64,
+    /// Words per packed syndrome (`ceil(checks / 64)`).
+    syn_words: usize,
+    /// Words per packed correction (`ceil(vars / 64)`).
+    corr_words: usize,
+    /// Slot occupancy flags.
+    valid: Vec<bool>,
+    /// Packed syndromes, `SLOTS × syn_words`, slot-major.
+    syn: Vec<u64>,
+    /// Packed corrections, `SLOTS × corr_words`, slot-major.
+    corr: Vec<u64>,
+    /// Lookup hits since the last clear (telemetry for tests/benches).
+    hits: u64,
+    /// Lookup misses since the last clear.
+    misses: u64,
+}
+
+impl DecodeCache {
+    /// Creates an empty cache; storage is sized by the first [`DecodeCache::ensure`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds the cache to a decoding context, clearing it if the context changed.
+    /// Allocates only on first use or when the shape grows — the Monte-Carlo
+    /// steady state (one context per run) performs no allocation here.
+    pub fn ensure(&mut self, tag: u64, checks: usize, vars: usize) {
+        let syn_words = checks.div_ceil(64).max(1);
+        let corr_words = vars.div_ceil(64).max(1);
+        if self.tag == tag
+            && self.syn_words == syn_words
+            && self.corr_words == corr_words
+            && !self.valid.is_empty()
+        {
+            return;
+        }
+        self.tag = tag;
+        self.syn_words = syn_words;
+        self.corr_words = corr_words;
+        self.valid.clear();
+        self.valid.resize(SLOTS, false);
+        self.syn.clear();
+        self.syn.resize(SLOTS * syn_words, 0);
+        self.corr.clear();
+        self.corr.resize(SLOTS * corr_words, 0);
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// The direct-mapped slot of a packed syndrome.
+    fn slot_of(&self, syn: &[u64]) -> usize {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &w in syn {
+            hash ^= w;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // A multiply alone never diffuses a bit *downward*, so without a
+        // finalizer every weight-1 syndrome above bit log2(SLOTS) would share
+        // one slot. Murmur3's fmix64 spreads every syndrome bit into the index.
+        hash ^= hash >> 33;
+        hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        hash ^= hash >> 33;
+        (hash as usize) & (SLOTS - 1)
+    }
+
+    /// Looks up a packed syndrome; on a hit returns the stored packed correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `syn` does not match the bound context's word count.
+    pub fn lookup(&mut self, syn: &[u64]) -> Option<&[u64]> {
+        debug_assert_eq!(syn.len(), self.syn_words);
+        let slot = self.slot_of(syn);
+        let stored = &self.syn[slot * self.syn_words..(slot + 1) * self.syn_words];
+        if self.valid[slot] && stored == syn {
+            self.hits += 1;
+            Some(&self.corr[slot * self.corr_words..(slot + 1) * self.corr_words])
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Stores the correction for a syndrome (overwriting whatever occupied the
+    /// slot — direct-mapped eviction never affects results, only hit rates).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the word counts do not match the bound context.
+    pub fn insert(&mut self, syn: &[u64], corr: &[u64]) {
+        debug_assert_eq!(syn.len(), self.syn_words);
+        debug_assert_eq!(corr.len(), self.corr_words);
+        let slot = self.slot_of(syn);
+        self.valid[slot] = true;
+        self.syn[slot * self.syn_words..(slot + 1) * self.syn_words].copy_from_slice(syn);
+        self.corr[slot * self.corr_words..(slot + 1) * self.corr_words].copy_from_slice(corr);
+    }
+
+    /// Lookup hits since the cache was last (re)bound.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses since the cache was last (re)bound.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_roundtrip_and_counters() {
+        let mut cache = DecodeCache::new();
+        cache.ensure(7, 36, 72);
+        let syn = [0b1010u64];
+        let corr = [0x5u64, 0x0];
+        assert!(cache.lookup(&syn).is_none());
+        cache.insert(&syn, &corr);
+        assert_eq!(cache.lookup(&syn), Some(&corr[..]));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn context_change_clears() {
+        let mut cache = DecodeCache::new();
+        cache.ensure(7, 36, 72);
+        cache.insert(&[1], &[2, 0]);
+        // Same context: entries survive.
+        cache.ensure(7, 36, 72);
+        assert!(cache.lookup(&[1]).is_some());
+        // New tag: entries gone.
+        cache.ensure(8, 36, 72);
+        assert!(cache.lookup(&[1]).is_none());
+        // New shape: entries gone and word counts rebound.
+        cache.ensure(8, 100, 72);
+        assert!(cache.lookup(&[1, 0]).is_none());
+    }
+
+    #[test]
+    fn distinct_syndromes_do_not_alias_results() {
+        // Even when two syndromes collide on a slot, the full-syndrome compare
+        // prevents one's correction from being returned for the other.
+        let mut cache = DecodeCache::new();
+        cache.ensure(1, 64, 64);
+        for s in 0..10_000u64 {
+            if let Some(corr) = cache.lookup(&[s]) {
+                assert_eq!(corr, &[s ^ 0xABCD]);
+            } else {
+                cache.insert(&[s], &[s ^ 0xABCD]);
+            }
+        }
+        // Re-probe: every hit must return its own correction.
+        for s in 0..10_000u64 {
+            if let Some(corr) = cache.lookup(&[s]) {
+                assert_eq!(corr, &[s ^ 0xABCD]);
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod bp;
 pub mod bposd;
+pub mod cache;
 pub mod memory;
 pub mod osd;
 pub mod pauli;
@@ -38,6 +39,8 @@ pub mod scratch;
 pub mod sparse;
 
 pub use bposd::BpOsdDecoder;
-pub use memory::{logical_error_rate, LerEstimate, MemoryConfig, MemoryExperiment, ShotScratch};
+pub use memory::{
+    logical_error_rate, BatchScratch, LerEstimate, MemoryConfig, MemoryExperiment, ShotScratch,
+};
 pub use pauli::{CircuitNoise, PauliFrameSimulator};
 pub use scratch::DecoderScratch;

@@ -12,8 +12,10 @@
 //! so steady-state sampling performs zero heap allocation.
 
 use crate::bposd::BpOsdDecoder;
+use crate::cache::DecodeCache;
 use crate::scratch::DecoderScratch;
 use noise::{ChannelSpec, ErrorChannel, HardwareNoiseModel};
+use qec::linalg::BitMat;
 use qec::CssCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -195,8 +197,10 @@ impl MemoryConfig {
     }
 
     /// The RNG seed of one Monte-Carlo shot: a SplitMix64-style stream split of
-    /// the base seed, independent of which worker runs the shot.
-    fn shot_seed(&self, shot: usize) -> u64 {
+    /// the base seed, independent of which worker runs the shot. Public so
+    /// external drivers (benches, equivalence tests) can replay the exact stream
+    /// of any shot of a run.
+    pub fn shot_seed(&self, shot: usize) -> u64 {
         self.seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shot as u64 + 1))
     }
@@ -222,6 +226,55 @@ impl ShotScratch {
     }
 }
 
+/// Per-worker workspace of the bit-sliced batch sampler
+/// ([`MemoryExperiment::sample_batch_with`]): 64 shots travel together, one bit
+/// per `u64` lane, so error patterns, measurement flips, syndromes, corrections,
+/// and logical-failure parities are all held column-major as words. Buffers are
+/// sized on the first batch and reused — zero heap allocation in steady state —
+/// and each sector keeps its own [`DecoderScratch`] and [`DecodeCache`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    x_decode: DecoderScratch,
+    z_decode: DecoderScratch,
+    /// X-frame error words, qubit-major: bit `k` of `[q]` = shot `k` has an X at `q`.
+    x_err_words: Vec<u64>,
+    /// Z-frame error words, qubit-major.
+    z_err_words: Vec<u64>,
+    /// Measurement-flip words for the X-sector checks (head of the channel's
+    /// check-major layout), check-major.
+    xflip_words: Vec<u64>,
+    /// Measurement-flip words for the Z-sector checks (tail), check-major.
+    zflip_words: Vec<u64>,
+    /// Per-sector syndrome words, check-major (reused across sectors).
+    syn_words: Vec<u64>,
+    /// Correction words, qubit-major (reused across sectors).
+    corr_words: Vec<u64>,
+    /// One shot's unpacked syndrome (decoder input on a cache miss).
+    syndrome: Vec<bool>,
+    /// One shot's syndrome packed 64-checks-per-word (decode-cache key).
+    syn_pack: Vec<u64>,
+    /// One shot's correction packed 64-qubits-per-word (decode-cache value).
+    corr_pack: Vec<u64>,
+    x_cache: DecodeCache,
+    z_cache: DecodeCache,
+}
+
+impl BatchScratch {
+    /// Creates an empty workspace; buffers are sized on the first batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decode-cache hit/miss totals over both sectors since the caches were last
+    /// bound (telemetry for benches and tests).
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.x_cache.hits() + self.z_cache.hits(),
+            self.x_cache.misses() + self.z_cache.misses(),
+        )
+    }
+}
+
 /// A logical-memory experiment for one code under one hardware noise model and one
 /// per-qubit [`ErrorChannel`].
 #[derive(Debug)]
@@ -235,8 +288,66 @@ pub struct MemoryExperiment<'a> {
     /// Per-bit decoder priors: the channel's data rates clamped to the decoder's
     /// numerically safe range (rebuilt whenever the channel changes).
     priors: Vec<f64>,
+    /// Content digest of `priors` ([`crate::bp::priors_digest`]), precomputed at
+    /// rebuild so every structured-channel decode hits the priors-LLR cache with a
+    /// single `u64` compare.
+    priors_key: u64,
     x_decoder: BpOsdDecoder,
     z_decoder: BpOsdDecoder,
+    /// Supports of the logical X operators (flagging Z-sector failures), flattened
+    /// once so the batch path computes logical parities word-at-a-time.
+    logical_x_supports: Vec<Vec<usize>>,
+    /// Supports of the logical Z operators (flagging X-sector failures).
+    logical_z_supports: Vec<Vec<usize>>,
+    /// Decode-context base tag of the X-sector decoder (content digest of `Hz` +
+    /// BP iteration cap); mixed with the priors identity to bind a [`DecodeCache`].
+    x_ctx: u64,
+    /// Decode-context base tag of the Z-sector decoder (`Hx` + cap).
+    z_ctx: u64,
+}
+
+/// Flattens logical operators from dense masks to index supports.
+fn supports_of(ops: &[Vec<bool>]) -> Vec<Vec<usize>> {
+    ops.iter()
+        .map(|op| {
+            op.iter()
+                .enumerate()
+                .filter_map(|(q, &on)| on.then_some(q))
+                .collect()
+        })
+        .collect()
+}
+
+/// Content digest of a parity-check matrix plus the BP iteration cap: the part of
+/// a decode context that is fixed at decoder construction. Two decoders with equal
+/// matrices and caps compute identical corrections, so tagging by content (not
+/// identity) lets a [`DecodeCache`] survive experiment rebuilds over the same code.
+fn matrix_tag(h: &BitMat, bp_iterations: usize) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(h.num_rows() as u64);
+    eat(h.num_cols() as u64);
+    eat(bp_iterations as u64);
+    for r in 0..h.num_rows() {
+        for &w in h.row_words(r) {
+            eat(w);
+        }
+    }
+    hash
+}
+
+/// Mixes a decode-context base tag with the priors identity of the current channel.
+fn mix_ctx(base: u64, prior_bits: u64) -> u64 {
+    let mut hash = base ^ prior_bits;
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash
 }
 
 impl<'a> MemoryExperiment<'a> {
@@ -248,9 +359,14 @@ impl<'a> MemoryExperiment<'a> {
             model,
             channel: ErrorChannel::uniform(code.num_qubits(), model.effective_error_rate()),
             priors: Vec::new(),
+            priors_key: 0,
             // Hx detects Z errors; Hz detects X errors.
             x_decoder: BpOsdDecoder::new(code.hz(), bp_iterations),
             z_decoder: BpOsdDecoder::new(code.hx(), bp_iterations),
+            logical_x_supports: supports_of(code.logical_x()),
+            logical_z_supports: supports_of(code.logical_z()),
+            x_ctx: matrix_tag(code.hz(), bp_iterations),
+            z_ctx: matrix_tag(code.hx(), bp_iterations),
         };
         exp.rebuild_priors();
         exp
@@ -316,6 +432,7 @@ impl<'a> MemoryExperiment<'a> {
         self.priors.clear();
         self.priors
             .extend(self.channel.data().iter().map(|&p| p.clamp(1e-9, 0.45)));
+        self.priors_key = crate::bp::priors_digest(&self.priors);
     }
 
     /// The effective per-qubit, per-round error rate driving the sampling.
@@ -347,17 +464,20 @@ impl<'a> MemoryExperiment<'a> {
         scratch.x_error.resize(n, false);
         scratch.z_error.clear();
         scratch.z_error.resize(n, false);
+        // Rates arrive pre-validated: `ErrorChannel::from_rates` saturates at the
+        // depolarizing maximum once, at construction, with `saturated()` recording
+        // the fact — no silent per-draw clamp here.
         match uniform {
             Some(p) => {
                 for q in 0..n {
-                    if rng.gen_bool(p.min(0.75)) {
+                    if rng.gen_bool(p) {
                         depolarize(rng, scratch, q);
                     }
                 }
             }
             None => {
                 for (q, &pq) in self.channel.data().iter().enumerate() {
-                    if rng.gen_bool(pq.min(0.75)) {
+                    if rng.gen_bool(pq) {
                         depolarize(rng, scratch, q);
                     }
                 }
@@ -425,17 +545,237 @@ impl<'a> MemoryExperiment<'a> {
                 decoder.decode_into(syndrome, p.clamp(1e-9, 0.45), scratch);
             }
             None => {
-                decoder.decode_with_priors_into(syndrome, &self.priors, scratch);
+                decoder.decode_with_priors_keyed_into(
+                    syndrome,
+                    &self.priors,
+                    self.priors_key,
+                    scratch,
+                );
             }
         }
+    }
+
+    /// Samples and decodes up to 64 Monte-Carlo shots at once, bit-sliced one shot
+    /// per `u64` lane; returns the failure mask (bit `k` set iff shot
+    /// `first_shot + k` suffered a logical error). `count` must be in `1..=64`.
+    ///
+    /// Bit-identical to running [`MemoryExperiment::sample_one_with`] per shot:
+    /// every shot draws from its own seeded stream
+    /// (`config.shot_seed(first_shot + k)`) in exactly the scalar order — data
+    /// qubits, then Z-sector measurement flips, then X-sector flips. (The scalar
+    /// path skips the X-sector flips when the X sector already failed; drawing
+    /// them here is harmless because nothing ever consumes the remainder of a
+    /// shot's stream.) Syndrome extraction, measurement flips, and
+    /// logical-failure parities are all word-level; BP+OSD runs only for lanes
+    /// with a non-trivial syndrome (a zero syndrome provably decodes to the zero
+    /// correction under the clamped priors), and repeated syndromes are served
+    /// from a per-sector [`DecodeCache`] whose entries store the exact decoder
+    /// output — so failures never depend on batch size, lane order, or cache
+    /// state. In steady state the batch performs zero heap allocations.
+    pub fn sample_batch_with(
+        &self,
+        config: &MemoryConfig,
+        first_shot: usize,
+        count: usize,
+        batch: &mut BatchScratch,
+    ) -> u64 {
+        assert!(
+            (1..=64).contains(&count),
+            "batch holds 1..=64 shots, got {count}"
+        );
+        let n = self.code.num_qubits();
+        let uniform = self.channel.uniform_rate();
+        batch.x_err_words.clear();
+        batch.x_err_words.resize(n, 0);
+        batch.z_err_words.clear();
+        batch.z_err_words.resize(n, 0);
+        let (x_check_rates, z_check_rates) = if self.channel.has_measurement_noise() {
+            let split = self.code.num_x_stabilizers();
+            let m = self.channel.measurement();
+            (&m[..split], &m[split..])
+        } else {
+            (&[] as &[f64], &[] as &[f64])
+        };
+        batch.xflip_words.clear();
+        batch.xflip_words.resize(x_check_rates.len(), 0);
+        batch.zflip_words.clear();
+        batch.zflip_words.resize(z_check_rates.len(), 0);
+        for k in 0..count {
+            let lane = 1u64 << k;
+            let mut rng = StdRng::seed_from_u64(config.shot_seed(first_shot + k));
+            match uniform {
+                Some(p) => {
+                    for q in 0..n {
+                        if rng.gen_bool(p) {
+                            depolarize_words(&mut rng, batch, q, lane);
+                        }
+                    }
+                }
+                None => {
+                    for (q, &pq) in self.channel.data().iter().enumerate() {
+                        if rng.gen_bool(pq) {
+                            depolarize_words(&mut rng, batch, q, lane);
+                        }
+                    }
+                }
+            }
+            // Scalar draw order: the Z-sector check flips (consumed by the X
+            // sector's syndrome) come first, then the X-sector check flips.
+            for (r, &p) in z_check_rates.iter().enumerate() {
+                if rng.gen_bool(p) {
+                    batch.zflip_words[r] |= lane;
+                }
+            }
+            for (r, &p) in x_check_rates.iter().enumerate() {
+                if rng.gen_bool(p) {
+                    batch.xflip_words[r] |= lane;
+                }
+            }
+        }
+        let prior_bits = match uniform {
+            Some(p) => p.clamp(1e-9, 0.45).to_bits(),
+            None => self.priors_key,
+        };
+        // X errors are detected by Z stabilizers and corrected by the X decoder;
+        // a residual logical X anticommutes with some logical Z.
+        let fail_x = self.batch_decode_sector(
+            &self.x_decoder,
+            uniform,
+            mix_ctx(self.x_ctx, prior_bits),
+            &batch.x_err_words,
+            &batch.zflip_words,
+            &self.logical_z_supports,
+            &mut batch.syn_words,
+            &mut batch.corr_words,
+            &mut batch.syndrome,
+            &mut batch.syn_pack,
+            &mut batch.corr_pack,
+            &mut batch.x_decode,
+            &mut batch.x_cache,
+        );
+        let fail_z = self.batch_decode_sector(
+            &self.z_decoder,
+            uniform,
+            mix_ctx(self.z_ctx, prior_bits),
+            &batch.z_err_words,
+            &batch.xflip_words,
+            &self.logical_x_supports,
+            &mut batch.syn_words,
+            &mut batch.corr_words,
+            &mut batch.syndrome,
+            &mut batch.syn_pack,
+            &mut batch.corr_pack,
+            &mut batch.z_decode,
+            &mut batch.z_cache,
+        );
+        let mask = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        (fail_x | fail_z) & mask
+    }
+
+    /// One sector of the batch path: word-level syndrome extraction and
+    /// measurement flips, cache-backed decoding of the active lanes, and
+    /// word-level logical-failure parities. Returns the sector's failure mask.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_decode_sector(
+        &self,
+        decoder: &BpOsdDecoder,
+        uniform: Option<f64>,
+        ctx: u64,
+        err_words: &[u64],
+        flip_words: &[u64],
+        logicals: &[Vec<usize>],
+        syn_words: &mut Vec<u64>,
+        corr_words: &mut Vec<u64>,
+        syndrome: &mut Vec<bool>,
+        syn_pack: &mut Vec<u64>,
+        corr_pack: &mut Vec<u64>,
+        decode: &mut DecoderScratch,
+        cache: &mut DecodeCache,
+    ) -> u64 {
+        let n = err_words.len();
+        let h = decoder.check_matrix();
+        let m = h.num_rows();
+        h.syndrome_words_into(err_words, syn_words);
+        if !flip_words.is_empty() {
+            debug_assert_eq!(flip_words.len(), m, "one flip word per check");
+            for (s, &f) in syn_words.iter_mut().zip(flip_words) {
+                *s ^= f;
+            }
+        }
+        corr_words.clear();
+        corr_words.resize(n, 0);
+        // Lanes with an all-zero syndrome decode to the zero correction for free.
+        let mut active: u64 = syn_words.iter().fold(0, |acc, &w| acc | w);
+        if active != 0 {
+            cache.ensure(ctx, m, n);
+            let syn_len = m.div_ceil(64).max(1);
+            let corr_len = n.div_ceil(64).max(1);
+            while active != 0 {
+                let k = active.trailing_zeros() as usize;
+                active &= active - 1;
+                let lane = 1u64 << k;
+                // Unpack lane k's syndrome: bools for the decoder, packed words
+                // for the cache key.
+                syn_pack.clear();
+                syn_pack.resize(syn_len, 0);
+                syndrome.clear();
+                for (r, &w) in syn_words.iter().enumerate() {
+                    let bit = (w >> k) & 1 == 1;
+                    syndrome.push(bit);
+                    if bit {
+                        syn_pack[r >> 6] |= 1 << (r & 63);
+                    }
+                }
+                let mut hit = false;
+                if let Some(stored) = cache.lookup(syn_pack) {
+                    for (wi, &w) in stored.iter().enumerate() {
+                        let mut bits = w;
+                        while bits != 0 {
+                            let q = (wi << 6) + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            corr_words[q] |= lane;
+                        }
+                    }
+                    hit = true;
+                }
+                if hit {
+                    continue;
+                }
+                self.decode_sector(decoder, uniform, syndrome, decode);
+                corr_pack.clear();
+                corr_pack.resize(corr_len, 0);
+                for (q, &e) in decode.error().iter().enumerate() {
+                    if e {
+                        corr_pack[q >> 6] |= 1 << (q & 63);
+                        corr_words[q] |= lane;
+                    }
+                }
+                cache.insert(syn_pack, corr_pack);
+            }
+        }
+        let mut fail = 0u64;
+        for support in logicals {
+            let mut parity = 0u64;
+            for &q in support {
+                parity ^= err_words[q] ^ corr_words[q];
+            }
+            fail |= parity;
+        }
+        fail
     }
 
     /// Runs the full Monte-Carlo experiment in parallel and returns the LER estimate.
     ///
     /// Each shot is seeded independently from [`MemoryConfig::seed`], so the estimate
-    /// is bit-identical for every `threads` setting (workers pull shots from a shared
-    /// counter purely for load balancing). Every worker owns one [`ShotScratch`], so
-    /// sampling allocates only at worker startup, never per shot.
+    /// is bit-identical for every `threads` setting (workers pull 64-shot batches
+    /// from a shared counter purely for load balancing, and the bit-sliced batch
+    /// path is bit-identical to the scalar per-shot path). Every worker owns one
+    /// [`BatchScratch`], so sampling allocates only at worker startup, never per
+    /// shot.
     pub fn run(&self, config: &MemoryConfig) -> LerEstimate {
         // A zero-shot configuration yields the explicit empty estimate instead of
         // fabricating a phantom 1-shot zero-failure floor.
@@ -444,22 +784,23 @@ impl<'a> MemoryExperiment<'a> {
         }
         let workers = config.worker_count().max(1);
         let shots = config.shots;
+        let chunks = shots.div_ceil(64);
         let failures = AtomicUsize::new(0);
-        let next_shot = AtomicUsize::new(0);
+        let next_chunk = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut scratch = ShotScratch::new();
+                    let mut batch = BatchScratch::new();
                     let mut local_failures = 0usize;
                     loop {
-                        let shot = next_shot.fetch_add(1, Ordering::Relaxed);
-                        if shot >= shots {
+                        let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if chunk >= chunks {
                             break;
                         }
-                        let mut rng = StdRng::seed_from_u64(config.shot_seed(shot));
-                        if self.sample_one_with(&mut rng, &mut scratch) {
-                            local_failures += 1;
-                        }
+                        let start = chunk * 64;
+                        let count = 64.min(shots - start);
+                        let mask = self.sample_batch_with(config, start, count, &mut batch);
+                        local_failures += mask.count_ones() as usize;
                     }
                     failures.fetch_add(local_failures, Ordering::Relaxed);
                 });
@@ -505,42 +846,55 @@ impl<'a> MemoryExperiment<'a> {
         let workers = config.worker_count().max(1);
         let mut done = 0usize;
         let mut failures = 0usize;
-        let mut scratch = ShotScratch::new();
+        let mut scratch = BatchScratch::new();
         let mut flags: Vec<AtomicBool> = Vec::new();
         while done < max_shots {
             let n = batch.min(max_shots - done);
             batch = batch.saturating_mul(2).min(ADAPTIVE_BATCH_CAP);
             if workers == 1 {
-                // Single-worker fast path: evaluate the stop rule after every shot
-                // (equivalent to the batched scan below, without the flag buffer).
-                for k in 0..n {
-                    let mut rng = StdRng::seed_from_u64(config.shot_seed(done + k));
-                    if self.sample_one_with(&mut rng, &mut scratch) {
-                        failures += 1;
+                // Single-worker fast path: sample bit-sliced 64-shot chunks but
+                // still evaluate the stop rule after every shot — the decision
+                // uses only the per-shot prefix, so stopping mid-chunk discards
+                // already-sampled lanes without affecting the returned estimate.
+                let mut off = 0usize;
+                while off < n {
+                    let c = 64.min(n - off);
+                    let mask = self.sample_batch_with(config, done + off, c, &mut scratch);
+                    for k in 0..c {
+                        if (mask >> k) & 1 == 1 {
+                            failures += 1;
+                        }
+                        if target.met_by(done + off + k + 1, failures) {
+                            return LerEstimate::from_counts(done + off + k + 1, failures);
+                        }
                     }
-                    if target.met_by(done + k + 1, failures) {
-                        return LerEstimate::from_counts(done + k + 1, failures);
-                    }
+                    off += c;
                 }
             } else {
-                // Sample the whole batch in parallel (each shot owns its seeded
-                // stream and a disjoint flag slot), then scan the flags in shot
-                // order for the earliest prefix meeting the target.
+                // Sample the whole batch in parallel (each 64-shot chunk owns its
+                // seeded streams and disjoint flag slots), then scan the flags in
+                // shot order for the earliest prefix meeting the target.
                 flags.clear();
                 flags.resize_with(n, || AtomicBool::new(false));
+                let chunks = n.div_ceil(64);
                 let next = AtomicUsize::new(0);
                 std::thread::scope(|scope| {
                     for _ in 0..workers {
                         scope.spawn(|| {
-                            let mut scratch = ShotScratch::new();
+                            let mut batch = BatchScratch::new();
                             loop {
-                                let k = next.fetch_add(1, Ordering::Relaxed);
-                                if k >= n {
+                                let chunk = next.fetch_add(1, Ordering::Relaxed);
+                                if chunk >= chunks {
                                     break;
                                 }
-                                let mut rng = StdRng::seed_from_u64(config.shot_seed(done + k));
-                                if self.sample_one_with(&mut rng, &mut scratch) {
-                                    flags[k].store(true, Ordering::Relaxed);
+                                let start = chunk * 64;
+                                let c = 64.min(n - start);
+                                let mask =
+                                    self.sample_batch_with(config, done + start, c, &mut batch);
+                                for k in 0..c {
+                                    if (mask >> k) & 1 == 1 {
+                                        flags[start + k].store(true, Ordering::Relaxed);
+                                    }
                                 }
                             }
                         });
@@ -721,6 +1075,21 @@ fn depolarize<R: Rng>(rng: &mut R, scratch: &mut ShotScratch, q: usize) {
         _ => {
             scratch.x_error[q] = true;
             scratch.z_error[q] = true;
+        }
+    }
+}
+
+/// Bit-sliced [`depolarize`]: applies one depolarizing event to qubit `q` in the
+/// lane selected by `lane`, drawing the same single `gen_range(0..3)` the scalar
+/// path draws so the per-shot RNG streams stay aligned.
+#[inline]
+fn depolarize_words<R: Rng>(rng: &mut R, batch: &mut BatchScratch, q: usize, lane: u64) {
+    match rng.gen_range(0..3) {
+        0 => batch.x_err_words[q] |= lane,
+        1 => batch.z_err_words[q] |= lane,
+        _ => {
+            batch.x_err_words[q] |= lane;
+            batch.z_err_words[q] |= lane;
         }
     }
 }
@@ -1274,6 +1643,80 @@ mod tests {
         let b = MemoryExperiment::with_channel(&code, model, channel, cfg.bp_iterations).run(&cfg);
         assert_eq!(a, b, "schedule-channel sampling must be deterministic");
         assert_eq!(a.shots, cfg.shots);
+    }
+
+    #[test]
+    fn rates_straddling_the_old_clamp_sample_identically_to_the_saturated_rate() {
+        // Regression for the silent mid-sample `p.min(0.75)`: rates are now
+        // saturated once at channel construction (with `saturated()` recording
+        // it), so a channel requesting 0.9 must sample exactly like one built at
+        // the depolarizing maximum — same streams, same failures — while a rate
+        // below the clamp is untouched.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(0.3), 0.0);
+        let n = code.num_qubits();
+        let cfg = MemoryConfig {
+            shots: 64,
+            bp_iterations: 10,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let over = noise::ErrorChannel::from_rates(vec![0.9; n], Vec::new());
+        assert!(over.saturated());
+        let at_max = noise::ErrorChannel::from_rates(vec![0.75; n], Vec::new());
+        assert!(!at_max.saturated());
+        let a = MemoryExperiment::with_channel(&code, model, over, cfg.bp_iterations).run(&cfg);
+        let b = MemoryExperiment::with_channel(&code, model, at_max, cfg.bp_iterations).run(&cfg);
+        assert_eq!(a, b, "saturated channel must sample at the maximum");
+        // Below the old clamp nothing changes: 0.7 stays 0.7 and differs from
+        // the saturated stream.
+        let below = noise::ErrorChannel::from_rates(vec![0.7; n], Vec::new());
+        assert!(!below.saturated());
+        let c = MemoryExperiment::with_channel(&code, model, below, cfg.bp_iterations).run(&cfg);
+        assert_ne!(a.failures, 0);
+        assert!(
+            c.failures <= a.failures,
+            "lower rate cannot fail more often"
+        );
+    }
+
+    #[test]
+    fn batch_decode_cache_hits_on_repeated_syndromes() {
+        // At physical rates the syndrome distribution is dominated by a few
+        // popular patterns; the batch path must serve most decodes from the
+        // per-sector caches, and cached runs must match cold runs exactly.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(3e-3), 0.0);
+        let exp = MemoryExperiment::with_channel(
+            &code,
+            model,
+            noise::ErrorChannel::biased(code.num_qubits(), code.num_stabilizers(), 3e-3, 6e-3),
+            20,
+        );
+        let cfg = MemoryConfig {
+            shots: 0,
+            bp_iterations: 20,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let mut batch = BatchScratch::new();
+        let mut masks = Vec::new();
+        for chunk in 0..60 {
+            masks.push(exp.sample_batch_with(&cfg, chunk * 64, 64, &mut batch));
+        }
+        let (hits, misses) = batch.cache_stats();
+        assert!(hits > 0, "repeated syndromes must hit the decode cache");
+        assert!(
+            hits > misses,
+            "physical-rate syndromes should mostly repeat (hits {hits}, misses {misses})"
+        );
+        // Replaying through a warm cache reproduces every mask bit-for-bit.
+        for (chunk, &mask) in masks.iter().enumerate() {
+            assert_eq!(
+                exp.sample_batch_with(&cfg, chunk * 64, 64, &mut batch),
+                mask
+            );
+        }
     }
 
     #[test]

@@ -24,11 +24,17 @@ pub struct DecoderScratch {
     pub(crate) channel_llr: Vec<f64>,
     /// Cache key for `channel_llr` when it holds a uniform-prior fill: `(p, n)`.
     pub(crate) cached_uniform: Option<(f64, usize)>,
-    /// Cache key for `channel_llr` when it holds a per-bit-priors fill: the exact
-    /// priors it was built from (empty = no priors cached). The Monte-Carlo steady
-    /// state decodes the same priors vector every shot, so the equality check
-    /// replaces one `ln` per bit with one comparison per bit.
-    pub(crate) cached_priors: Vec<f64>,
+    /// Cache key for `channel_llr` when it holds a per-bit-priors fill: the
+    /// content digest and length of the priors it was built from
+    /// ([`crate::bp::priors_digest`]). Keying on the digest instead of the exact
+    /// `Vec<f64>` makes the steady-state hit a single `u64` compare — callers that
+    /// precompute the digest once per channel ([`crate::memory::MemoryExperiment`])
+    /// pay O(1) per decode instead of an O(n) float compare.
+    pub(crate) cached_priors_key: Option<(u64, usize)>,
+    /// Number of times the per-bit-priors LLR conversion actually ran (cache
+    /// misses). Decodes minus rebuilds = cache hits; exposed for tests via
+    /// [`DecoderScratch::priors_rebuilds`].
+    pub(crate) priors_rebuilds: usize,
     /// Check→variable messages, indexed by Tanner-graph edge id.
     pub(crate) check_to_var: Vec<f64>,
     /// Variable→check messages, indexed by Tanner-graph edge id.
@@ -69,6 +75,13 @@ impl DecoderScratch {
     pub fn llrs(&self) -> &[f64] {
         &self.llrs
     }
+
+    /// How many per-bit-priors decodes rebuilt the channel-LLR vector (i.e. missed
+    /// the priors-LLR cache). The steady state of a structured-channel Monte-Carlo
+    /// run rebuilds once and hits thereafter.
+    pub fn priors_rebuilds(&self) -> usize {
+        self.priors_rebuilds
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +94,7 @@ mod tests {
         assert!(s.error().is_empty());
         assert!(s.llrs().is_empty());
         assert!(s.cached_uniform.is_none());
-        assert!(s.cached_priors.is_empty());
+        assert!(s.cached_priors_key.is_none());
+        assert_eq!(s.priors_rebuilds(), 0);
     }
 }

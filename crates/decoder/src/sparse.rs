@@ -101,6 +101,25 @@ impl SparseBinMat {
     pub fn to_bitmat(&self) -> BitMat {
         BitMat::from_row_supports(self.num_rows, self.num_cols, &self.rows)
     }
+
+    /// Word-sliced syndrome extraction for bit-sliced batch decoding: `err_words`
+    /// holds 64 error patterns *column-major* (bit `k` of `err_words[c]` is pattern
+    /// `k`'s value at variable `c`), and `out[r]` receives the 64 syndromes of
+    /// check `r` in the same bit positions — one XOR per nonzero entry of `H`
+    /// serves all 64 patterns at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `err_words.len() != num_cols`.
+    pub fn syndrome_words_into(&self, err_words: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(err_words.len(), self.num_cols, "error length mismatch");
+        out.clear();
+        out.extend(
+            self.rows
+                .iter()
+                .map(|row| row.iter().fold(0u64, |acc, &c| acc ^ err_words[c])),
+        );
+    }
 }
 
 /// A flattened (CSR-style) Tanner graph derived from a [`SparseBinMat`].
@@ -232,6 +251,31 @@ mod tests {
         let mut out = vec![true; 7]; // stale, over-long contents must be replaced
         s.syndrome_into(&e, &mut out);
         assert_eq!(out, s.syndrome(&e));
+    }
+
+    #[test]
+    fn syndrome_words_match_per_pattern_syndromes() {
+        // Pack 64 random-ish error patterns column-major and check every bit lane
+        // against the per-pattern bool syndrome.
+        let s = SparseBinMat::from_row_supports(5, vec![vec![0, 1, 4], vec![1, 2], vec![2, 3, 4]]);
+        let mut err_words = vec![0u64; 5];
+        for k in 0..64u64 {
+            for (c, word) in err_words.iter_mut().enumerate() {
+                // An arbitrary deterministic pattern mixing lane and column.
+                if (k.wrapping_mul(0x9E37_79B9) >> c) & 1 == 1 {
+                    *word |= 1 << k;
+                }
+            }
+        }
+        let mut syn_words = Vec::new();
+        s.syndrome_words_into(&err_words, &mut syn_words);
+        for k in 0..64 {
+            let e: Vec<bool> = (0..5).map(|c| (err_words[c] >> k) & 1 == 1).collect();
+            let expect = s.syndrome(&e);
+            for (r, &want) in expect.iter().enumerate() {
+                assert_eq!((syn_words[r] >> k) & 1 == 1, want, "lane {k} check {r}");
+            }
+        }
     }
 
     #[test]

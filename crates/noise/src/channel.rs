@@ -39,6 +39,12 @@
 use crate::model::HardwareNoiseModel;
 use serde::{Deserialize, Serialize};
 
+/// The maximum physically meaningful depolarizing probability: at 3/4 the channel
+/// is fully depolarizing, so rates above it have no extra physical content.
+/// [`ErrorChannel::from_rates`] saturates data rates here (recording the fact via
+/// [`ErrorChannel::saturated`]) instead of letting the sampler clamp them silently.
+pub const DEPOLARIZING_MAX: f64 = 0.75;
+
 /// A per-qubit error channel for one syndrome-extraction round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorChannel {
@@ -50,11 +56,20 @@ pub struct ErrorChannel {
     /// `Some(p)` iff every data rate is exactly `p` and measurement is noiseless —
     /// the decoder's cached-LLR fast path key, precomputed at construction.
     uniform: Option<f64>,
+    /// Whether any requested rate exceeded [`DEPOLARIZING_MAX`] and was saturated
+    /// at construction.
+    saturated: bool,
 }
 
 impl ErrorChannel {
     /// Builds a channel from explicit per-qubit rates (the general constructor the
     /// named ones reduce to).
+    ///
+    /// Rates above [`DEPOLARIZING_MAX`] (3/4, the fully depolarizing point) are
+    /// saturated to it here, once, with the saturation recorded in
+    /// [`ErrorChannel::saturated`]. The sampler used to apply the same clamp
+    /// silently on every draw (`p.min(0.75)` mid-shot), which distorted high-rate
+    /// estimates without any signal; now the stored rates *are* the sampled rates.
     ///
     /// # Panics
     ///
@@ -74,6 +89,15 @@ impl ErrorChannel {
                 "measurement rate {p} not in [0, 1)"
             );
         }
+        let saturated = data
+            .iter()
+            .chain(&measurement)
+            .any(|&p| p > DEPOLARIZING_MAX);
+        let data: Vec<f64> = data.into_iter().map(|p| p.min(DEPOLARIZING_MAX)).collect();
+        let measurement: Vec<f64> = measurement
+            .into_iter()
+            .map(|p| p.min(DEPOLARIZING_MAX))
+            .collect();
         let noiseless_measurement = measurement.iter().all(|&p| p == 0.0);
         let uniform = if noiseless_measurement && data.iter().all(|&p| p == data[0]) {
             Some(data[0])
@@ -92,6 +116,7 @@ impl ErrorChannel {
             data,
             measurement,
             uniform,
+            saturated,
         }
     }
 
@@ -116,8 +141,9 @@ impl ErrorChannel {
     /// Pauli-twirled decoherence accumulated over *that qubit's* idle exposure
     /// (instead of the whole-round latency every qubit is charged under the uniform
     /// model); each check's measurement flip rate is the base measurement error
-    /// plus the decoherence over the measuring ancilla's idle exposure. Rates are
-    /// clamped to the depolarizing maximum 0.75 like the scalar effective rates.
+    /// plus the decoherence over the measuring ancilla's idle exposure. Rates that
+    /// exceed [`DEPOLARIZING_MAX`] saturate there via [`ErrorChannel::from_rates`],
+    /// with the saturation recorded in [`ErrorChannel::saturated`].
     ///
     /// `meas_idle` is check-major (X-sector ancillas then Z-sector, the simulator's
     /// ion layout); pass an empty slice for noiseless measurement.
@@ -127,15 +153,11 @@ impl ErrorChannel {
         let base_meas = model.parameters().base_measurement_error();
         let data = data_idle
             .iter()
-            .map(|&idle| {
-                (base_data + crate::decoherence::pauli_twirl_error(idle, coherence)).min(0.75)
-            })
+            .map(|&idle| base_data + crate::decoherence::pauli_twirl_error(idle, coherence))
             .collect();
         let measurement = meas_idle
             .iter()
-            .map(|&idle| {
-                (base_meas + crate::decoherence::pauli_twirl_error(idle, coherence)).min(0.75)
-            })
+            .map(|&idle| base_meas + crate::decoherence::pauli_twirl_error(idle, coherence))
             .collect();
         Self::from_rates(data, measurement)
     }
@@ -164,6 +186,13 @@ impl ErrorChannel {
     /// data rates, noiseless measurement) — the decoder's fast-path key.
     pub fn uniform_rate(&self) -> Option<f64> {
         self.uniform
+    }
+
+    /// Whether any requested rate exceeded [`DEPOLARIZING_MAX`] and was saturated
+    /// at construction — the recorded replacement for the sampler's old silent
+    /// per-draw clamp.
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// A 64-bit FNV-1a digest over the exact bit patterns of every rate — the
@@ -313,6 +342,31 @@ mod tests {
     #[should_panic(expected = "measurement rate")]
     fn out_of_range_measurement_rate_rejected() {
         let _ = ErrorChannel::from_rates(vec![1e-3], vec![1.0]);
+    }
+
+    #[test]
+    fn rates_above_depolarizing_max_saturate_with_a_recorded_flag() {
+        // Straddle the old silent clamp: 0.7 passes through untouched, 0.9
+        // saturates at 0.75, and the saturation is visible on the channel.
+        let ch = ErrorChannel::from_rates(vec![0.7, 0.9], vec![0.2, 0.8]);
+        assert_eq!(ch.data(), &[0.7, DEPOLARIZING_MAX]);
+        assert_eq!(ch.measurement(), &[0.2, DEPOLARIZING_MAX]);
+        assert!(ch.saturated());
+
+        // Rates at or below the maximum are untouched and unflagged.
+        let ch = ErrorChannel::from_rates(vec![0.7, DEPOLARIZING_MAX], vec![0.2]);
+        assert_eq!(ch.data(), &[0.7, DEPOLARIZING_MAX]);
+        assert!(!ch.saturated());
+        assert!(!ErrorChannel::uniform(4, 3e-3).saturated());
+    }
+
+    #[test]
+    fn saturated_uniform_channel_keeps_the_fast_path_at_the_max() {
+        // A uniform request above the max saturates to a uniform channel at the
+        // max — the fast-path key reflects the rates actually sampled.
+        let ch = ErrorChannel::uniform(4, 0.9);
+        assert_eq!(ch.uniform_rate(), Some(DEPOLARIZING_MAX));
+        assert!(ch.saturated());
     }
 
     #[test]
