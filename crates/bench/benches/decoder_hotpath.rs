@@ -6,26 +6,37 @@
 //! * **BP-only** — decodes of weight-1-error syndromes, which belief propagation
 //!   resolves without the OSD fallback;
 //! * **OSD-fallback** — decodes of syndromes on which BP fails, exercising the
-//!   word-level ordered-statistics path;
+//!   word-level ordered-statistics path; the warm-started and cold OSD stages
+//!   are also timed separately (same syndromes, precomputed BP suspicion), so
+//!   the warm-start lever's gain is recorded on every run;
 //! * **full-shot (scalar)** — complete Monte-Carlo shots (depolarizing sample +
 //!   X and Z decodes + logical checks) via `MemoryExperiment::sample_one_with`;
 //! * **full-shot (batch)** — the same shots through the bit-sliced 64-lane path
 //!   (`MemoryExperiment::sample_batch_with`: word-level syndrome extraction,
-//!   zero-syndrome lane skip, per-syndrome decode cache), for the uniform,
-//!   biased, and schedule-shaped channels.
+//!   zero-syndrome lane skip, weight-1 fast path, per-syndrome decode cache),
+//!   for the uniform, biased, and schedule-shaped channels, with per-channel
+//!   weight-1-fast-path and OSD-fallback rates from `BatchStats` deltas.
+//!
+//! Setting `CYCLONE_DECODE_CACHE_DIR` persists the structured channels' decode
+//! caches there and loads them back on the next run: a **cold** run (nothing to
+//! load) pays every compulsory syndrome decode once, a **warm** run serves them
+//! from the persisted cache. The JSON records which state was measured.
 //!
 //! A counting global allocator verifies the zero-allocation claim: after warmup,
-//! every timed loop — scalar and batch, all channel shapes — must perform
-//! **zero** heap allocations. Each run overwrites `BENCH_decoder.json` at the
-//! repository root with its measurements, so the file always holds the current
-//! commit's numbers and the perf trajectory accumulates in git history (and in
-//! CI artifacts). All timed loops are single-threaded — worker parallelism is
-//! `MemoryExperiment::run`'s concern, not the hot path's. `CYCLONE_SHOTS`
-//! scales the measurement length (CI uses 50), and `CYCLONE_ENFORCE=1` turns
-//! the recorded regression thresholds below into hard assertions.
+//! every timed loop — scalar and batch, all channel shapes, cold and warm — must
+//! perform **zero** heap allocations (cache load/store and the weight-1 table
+//! build happen outside the timed loops). Each run overwrites
+//! `BENCH_decoder.json` at the repository root with its measurements, so the
+//! file always holds the current commit's numbers and the perf trajectory
+//! accumulates in git history (and in CI artifacts). All timed loops are
+//! single-threaded — worker parallelism is `MemoryExperiment::run`'s concern,
+//! not the hot path's. `CYCLONE_SHOTS` scales the measurement length (CI uses
+//! 50), and `CYCLONE_ENFORCE=1` turns the recorded regression thresholds below
+//! into hard assertions.
 
 use decoder::bposd::{BpOsdDecoder, DecodeMethod};
-use decoder::memory::{BatchScratch, MemoryConfig, MemoryExperiment, ShotScratch};
+use decoder::memory::{BatchScratch, BatchStats, MemoryConfig, MemoryExperiment, ShotScratch};
+use decoder::osd::OsdDecoder;
 use decoder::scratch::DecoderScratch;
 use noise::{ErrorChannel, HardwareNoiseModel, NoiseParameters};
 use qec::codes::bb_72_12_6;
@@ -33,6 +44,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -44,22 +56,30 @@ use std::time::Instant;
 const PRE_PR_BASELINE_SHOTS_PER_SEC: f64 = 61_860.0;
 
 /// Regression floor for the batch uniform rate under `CYCLONE_ENFORCE=1`
-/// (quick mode included): the tentpole target for this container, with the
-/// measured rate (~4.0M shots/sec full-length, ~2.8M in CI quick mode) leaving
-/// roughly 3× headroom.
+/// (quick mode included): the original tentpole target for this container, with
+/// the measured rate (~4M shots/sec full-length) leaving roughly 3× headroom.
 const ENFORCE_MIN_UNIFORM_BATCH_SHOTS_PER_SEC: f64 = 1_000_000.0;
 
-/// Regression ceiling for the worst structured-channel penalty
+/// Regression ceiling for the worst **cold** structured-channel penalty
 /// (`uniform_batch / min(biased_batch, schedule_batch)`) under
-/// `CYCLONE_ENFORCE=1`. Measured ~28× on this container in both full-length
-/// and quick mode: structured channels pay measurement-flip sampling, a much
-/// higher active-lane fraction, and — decisively — compulsory decode-cache
-/// misses whose syndromes (single measurement flips and the two-event tail)
-/// mostly need the ~78 µs OSD fallback. 40× is the recorded do-not-regress
-/// threshold. Note the *absolute* structured rates still improved ~4× over the
-/// scalar path; the penalty vs uniform widened only because the uniform batch
-/// path gained ~14×.
-const ENFORCE_MAX_STRUCTURED_PENALTY: f64 = 40.0;
+/// `CYCLONE_ENFORCE=1`. The cold run is bounded by compulsory decode-cache
+/// misses: every first-seen multi-event syndrome pays the full BP-failure +
+/// OSD-fallback cost, pinned bit-identical to the scalar decoder. The BP/OSD
+/// hot-loop work (word-packed convergence, branchless min-sum signs, row-major
+/// total accumulation, warm-started OSD) brought the measured cold penalty from
+/// ~28× down to ~20× on this container; 25× is the do-not-regress ceiling.
+/// The *warm* run — the persistent decode cache loaded — is held to the much
+/// tighter [`ENFORCE_MAX_WARM_STRUCTURED_PENALTY`].
+const ENFORCE_MAX_STRUCTURED_PENALTY: f64 = 25.0;
+
+/// Warm-run regression ceiling for the structured-channel penalty: with the
+/// persisted caches loaded, compulsory misses vanish (measured ~2× on this
+/// container, dominated by the per-shot RNG stream that bit-identity pins).
+const ENFORCE_MAX_WARM_STRUCTURED_PENALTY: f64 = 5.0;
+
+/// Warm-run regression floor for the slowest structured-channel batch rate
+/// (measured ~2M shots/sec on this container).
+const ENFORCE_MIN_WARM_STRUCTURED_BATCH_SHOTS_PER_SEC: f64 = 300_000.0;
 
 /// The physical error rate of the acceptance measurement.
 const P: f64 = 3e-3;
@@ -100,19 +120,47 @@ fn rate(iters: usize, mut routine: impl FnMut(usize)) -> f64 {
     iters as f64 / start.elapsed().as_secs_f64()
 }
 
+/// What one channel's batch measurement produced: the steady-state rate plus
+/// the `BatchStats` / cache-counter deltas of its lanes over the timed loop.
+struct ChannelMeasurement {
+    shots_per_sec: f64,
+    stats: BatchStats,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl ChannelMeasurement {
+    fn weight1_fastpath_rate(&self) -> f64 {
+        self.stats.weight1_hits as f64 / self.stats.active_lanes.max(1) as f64
+    }
+
+    fn osd_fallback_rate(&self) -> f64 {
+        self.stats.osd_fallbacks as f64 / self.stats.active_lanes.max(1) as f64
+    }
+
+    fn cache_hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / (self.cache_hits + self.cache_misses).max(1) as f64
+    }
+}
+
 /// Measures steady-state batch throughput (shots/sec) for one experiment, and
 /// asserts the timed loop is allocation-free. `batch` arrives warm (buffers and
-/// decode caches sized, OSD arenas grown); the cache context re-bind on the
-/// first chunk clears entries without allocating.
+/// decode caches sized, OSD arenas grown); the cache context re-bind and the
+/// weight-1 table build happen on the first (untimed) chunk, which never
+/// allocates in the timed loop that follows.
 fn batch_rate(
     exp: &MemoryExperiment,
     cfg: &MemoryConfig,
     batch: &mut BatchScratch,
     chunks: usize,
-) -> f64 {
+) -> ChannelMeasurement {
     // One untimed chunk re-binds the decode caches to this experiment's context
-    // and repopulates the popular syndromes.
+    // (which zeroes the cache counters when the context changes), builds the
+    // weight-1 table, and repopulates the popular syndromes. The stat baselines
+    // are captured *after* it, so the deltas cover exactly the timed loop.
     black_box(exp.sample_batch_with(cfg, 0, 64, batch));
+    let stats0 = batch.stats();
+    let (hits0, misses0) = batch.cache_stats();
     let before = allocations();
     let shots_per_sec = 64.0
         * rate(chunks, |chunk| {
@@ -123,7 +171,19 @@ fn batch_rate(
         0,
         "steady-state sample_batch_with must not allocate"
     );
-    shots_per_sec
+    let stats1 = batch.stats();
+    let (hits1, misses1) = batch.cache_stats();
+    ChannelMeasurement {
+        shots_per_sec,
+        stats: BatchStats {
+            active_lanes: stats1.active_lanes - stats0.active_lanes,
+            weight1_hits: stats1.weight1_hits - stats0.weight1_hits,
+            decoded: stats1.decoded - stats0.decoded,
+            osd_fallbacks: stats1.osd_fallbacks - stats0.osd_fallbacks,
+        },
+        cache_hits: hits1 - hits0,
+        cache_misses: misses1 - misses0,
+    }
 }
 
 fn main() {
@@ -132,6 +192,10 @@ fn main() {
     let decoder = BpOsdDecoder::new(code.hz(), 30);
     let iters = 40 * bench::shots(); // 16k iterations by default, 2k in CI quick mode
     let enforce = std::env::var("CYCLONE_ENFORCE").is_ok_and(|v| v == "1");
+    let decode_cache_dir = std::env::var("CYCLONE_DECODE_CACHE_DIR")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .map(PathBuf::from);
 
     // --- BP-only: weight-1 errors, cycled over every qubit. -----------------
     let weight1_syndromes: Vec<Vec<bool>> = (0..n)
@@ -165,6 +229,48 @@ fn main() {
         let s = &fallback_syndromes[i % fallback_syndromes.len()];
         black_box(decoder.decode_into(black_box(s), P, &mut scratch));
     });
+
+    // --- OSD stage alone, warm-started vs cold. -----------------------------
+    // Same fallback syndromes, BP suspicion precomputed, so the two timings
+    // isolate exactly the warm-start lever (column-permutation reuse +
+    // early-exit elimination); the property suite pins them bit-identical.
+    let suspicions: Vec<Vec<f64>> = fallback_syndromes
+        .iter()
+        .map(|s| {
+            decoder.decode_into(s, P, &mut scratch);
+            scratch.llrs().iter().map(|&l| -l).collect()
+        })
+        .collect();
+    let osd_only = OsdDecoder::new(code.hz().clone());
+    let mut warm_scratch = DecoderScratch::new();
+    let mut cold_scratch = DecoderScratch::new();
+    for (s, susp) in fallback_syndromes.iter().zip(&suspicions) {
+        assert!(osd_only.decode_into(s, susp, &mut warm_scratch));
+        assert!(osd_only.decode_into_cold(s, susp, &mut cold_scratch));
+    }
+    let before = allocations();
+    let osd_warm_rate = rate(iters / 4, |i| {
+        let k = i % fallback_syndromes.len();
+        black_box(osd_only.decode_into(
+            black_box(&fallback_syndromes[k]),
+            &suspicions[k],
+            &mut warm_scratch,
+        ));
+    });
+    let osd_cold_rate = rate(iters / 4, |i| {
+        let k = i % fallback_syndromes.len();
+        black_box(osd_only.decode_into_cold(
+            black_box(&fallback_syndromes[k]),
+            &suspicions[k],
+            &mut cold_scratch,
+        ));
+    });
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state OSD decode_into must not allocate"
+    );
+    let osd_warm_speedup = osd_warm_rate / osd_cold_rate;
 
     // --- Scalar full shots, with the zero-allocation check. -----------------
     let model = HardwareNoiseModel::new(NoiseParameters::new(P), 0.0);
@@ -231,7 +337,10 @@ fn main() {
     // --- Bit-sliced batch shots, per channel kind. --------------------------
     // One warm scratch serves every channel: a high-noise burst grows the OSD
     // arenas and decode-cache storage once, then each `batch_rate` re-binds the
-    // caches to its channel context allocation-free.
+    // caches to its channel context allocation-free. When
+    // CYCLONE_DECODE_CACHE_DIR is set, each structured channel's caches are
+    // loaded before and persisted after its measurement (both outside the
+    // timed loop), so a rerun with the same directory measures the warm state.
     let cfg = MemoryConfig {
         shots: 0,
         bp_iterations: 30,
@@ -243,37 +352,68 @@ fn main() {
         black_box(noisy.sample_batch_with(&cfg, chunk * 64, 64, &mut batch));
     }
     let chunks = (iters / 64).max(8);
-    let uniform_batch = batch_rate(&exp, &cfg, &mut batch, chunks);
-    let biased_batch = {
-        let exp = MemoryExperiment::with_channel(&code, model, biased_channel(), 30);
-        batch_rate(&exp, &cfg, &mut batch, chunks)
+    let uniform = batch_rate(&exp, &cfg, &mut batch, chunks);
+    let mut entries_loaded = 0usize;
+    let mut structured = |channel: ErrorChannel| -> ChannelMeasurement {
+        let exp = MemoryExperiment::with_channel(&code, model, channel, 30);
+        if let Some(dir) = &decode_cache_dir {
+            entries_loaded += exp.load_decode_caches(dir, &mut batch);
+        }
+        let measurement = batch_rate(&exp, &cfg, &mut batch, chunks);
+        if let Some(dir) = &decode_cache_dir {
+            exp.store_decode_caches(dir, &batch)
+                .expect("persist decode caches");
+        }
+        measurement
     };
-    let (cache_hits, cache_misses) = batch.cache_stats();
-    let schedule_batch = {
-        let exp = MemoryExperiment::with_channel(&code, model, schedule_channel(), 30);
-        batch_rate(&exp, &cfg, &mut batch, chunks)
-    };
+    let biased = structured(biased_channel());
+    let schedule = structured(schedule_channel());
+    let warm = entries_loaded > 0;
+    let cache_evictions = batch.cache_evictions();
 
     // The headline figures: the batch path is what `MemoryExperiment::run`
     // executes, so the pre-PR speedup and the structured-channel penalty are
     // both computed from it — against the recorded baseline field, at run time.
+    let uniform_batch = uniform.shots_per_sec;
+    let biased_batch = biased.shots_per_sec;
+    let schedule_batch = schedule.shots_per_sec;
     let speedup = uniform_batch / PRE_PR_BASELINE_SHOTS_PER_SEC;
-    let structured_penalty = uniform_batch / biased_batch.min(schedule_batch);
-    let cache_hit_rate = cache_hits as f64 / (cache_hits + cache_misses).max(1) as f64;
+    let structured_min = biased_batch.min(schedule_batch);
+    let structured_penalty = uniform_batch / structured_min;
+    let cache_hit_rate = biased.cache_hit_rate();
 
     println!("decoder hot path, [[72,12,6]] BB code at p = {P:.0e} ({iters} iterations)");
     println!("  BP-only        {bp_rate:>12.0} decodes/sec");
-    println!("  OSD-fallback   {osd_rate:>12.0} decodes/sec");
+    println!("  OSD-fallback   {osd_rate:>12.0} decodes/sec (BP failure + OSD)");
+    println!("    OSD warm     {osd_warm_rate:>12.0} decodes/sec (stage alone)");
+    println!("    OSD cold     {osd_cold_rate:>12.0} decodes/sec ({osd_warm_speedup:.2}x warm-start gain)");
     println!("  scalar shots   {shot_rate:>12.0} shots/sec (uniform)");
     println!("    biased       {biased_rate:>12.0} shots/sec");
     println!("    schedule     {schedule_rate:>12.0} shots/sec");
     println!("  batch shots    {uniform_batch:>12.0} shots/sec (uniform, 64 lanes/word)");
-    println!("    biased       {biased_batch:>12.0} shots/sec");
-    println!("    schedule     {schedule_batch:>12.0} shots/sec");
+    for (name, m) in [("biased", &biased), ("schedule", &schedule)] {
+        println!(
+            "    {name:<9}  {:>12.0} shots/sec (weight-1 fast path {:.1}%, OSD fallback {:.1}% of active lanes)",
+            m.shots_per_sec,
+            100.0 * m.weight1_fastpath_rate(),
+            100.0 * m.osd_fallback_rate(),
+        );
+    }
     println!(
-        "  decode-cache hit rate (biased batch): {:.1}%",
+        "  decode-cache hit rate (biased batch): {:.1}%  ({cache_evictions} conflict evictions)",
         100.0 * cache_hit_rate
     );
+    match (&decode_cache_dir, warm) {
+        (None, _) => {}
+        (Some(dir), false) => println!(
+            "  persistent decode cache: cold (nothing to load from {})",
+            dir.display()
+        ),
+        (Some(dir), true) => println!(
+            "  persistent decode cache: warm ({entries_loaded} entries loaded from {})",
+            dir.display()
+        ),
+    }
     println!("  worst structured penalty vs uniform batch: {structured_penalty:.2}x");
     println!("  steady-state heap allocations per shot: {steady_state_allocs}");
     println!(
@@ -291,24 +431,57 @@ fn main() {
             "structured-channel penalty regressed: {structured_penalty:.2}x > \
              {ENFORCE_MAX_STRUCTURED_PENALTY:.2}x"
         );
-        println!("  CYCLONE_ENFORCE: thresholds hold");
+        if warm {
+            assert!(
+                structured_penalty <= ENFORCE_MAX_WARM_STRUCTURED_PENALTY,
+                "warm structured-channel penalty regressed: {structured_penalty:.2}x > \
+                 {ENFORCE_MAX_WARM_STRUCTURED_PENALTY:.2}x"
+            );
+            assert!(
+                structured_min >= ENFORCE_MIN_WARM_STRUCTURED_BATCH_SHOTS_PER_SEC,
+                "warm structured batch throughput regressed: {structured_min:.0} < \
+                 {ENFORCE_MIN_WARM_STRUCTURED_BATCH_SHOTS_PER_SEC:.0} shots/sec"
+            );
+        }
+        println!(
+            "  CYCLONE_ENFORCE: thresholds hold ({})",
+            if warm { "cold + warm" } else { "cold" }
+        );
     }
 
+    let channel_stats = |m: &ChannelMeasurement| {
+        format!(
+            "{{\n      \"weight1_fastpath_rate\": {:.3},\n      \
+             \"osd_fallback_rate\": {:.3},\n      \"cache_hit_rate\": {:.3}\n    }}",
+            m.weight1_fastpath_rate(),
+            m.osd_fallback_rate(),
+            m.cache_hit_rate(),
+        )
+    };
     let json = format!(
         "{{\n  \"code\": \"{}\",\n  \"p\": {P},\n  \"iterations\": {iters},\n  \
          \"bp_only_decodes_per_sec\": {bp_rate:.1},\n  \
          \"osd_fallback_decodes_per_sec\": {osd_rate:.1},\n  \
+         \"osd_stage_decodes_per_sec\": {{\n    \"warm\": {osd_warm_rate:.1},\n    \
+         \"cold\": {osd_cold_rate:.1},\n    \"warm_start_speedup\": {osd_warm_speedup:.2}\n  }},\n  \
          \"full_shot_shots_per_sec\": {shot_rate:.1},\n  \
          \"channel_shots_per_sec\": {{\n    \"uniform\": {shot_rate:.1},\n    \
          \"biased\": {biased_rate:.1},\n    \"schedule\": {schedule_rate:.1}\n  }},\n  \
          \"batch_shots_per_sec\": {{\n    \"uniform\": {uniform_batch:.1},\n    \
          \"biased\": {biased_batch:.1},\n    \"schedule\": {schedule_batch:.1}\n  }},\n  \
+         \"batch_channel_stats\": {{\n    \"biased\": {},\n    \"schedule\": {}\n  }},\n  \
          \"batch_cache_hit_rate\": {cache_hit_rate:.3},\n  \
+         \"batch_cache_evictions\": {cache_evictions},\n  \
+         \"decode_cache\": {{\n    \"persistent\": {},\n    \
+         \"entries_loaded\": {entries_loaded},\n    \"warm\": {warm}\n  }},\n  \
          \"structured_penalty_vs_uniform\": {structured_penalty:.2},\n  \
          \"steady_state_allocs_per_shot\": {steady_state_allocs},\n  \
          \"pre_pr_baseline_shots_per_sec\": {PRE_PR_BASELINE_SHOTS_PER_SEC:.1},\n  \
          \"speedup_vs_pre_pr\": {speedup:.2}\n}}\n",
-        code.descriptor()
+        code.descriptor(),
+        channel_stats(&biased),
+        channel_stats(&schedule),
+        decode_cache_dir.is_some(),
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decoder.json");
     std::fs::write(path, json).expect("write BENCH_decoder.json");

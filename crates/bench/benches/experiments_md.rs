@@ -352,24 +352,43 @@ fn main() {
          (`MemoryExperiment::sample_batch_with`): 64 shots per `u64` word —\n\
          data-qubit flips, per-check measurement flips, and word-level syndrome\n\
          extraction all operate on whole words, zero-syndrome lanes skip BP\n\
-         entirely, and a per-syndrome decode cache replays repeated syndromes\n\
-         as a word-compare plus a copy. Each lane still consumes its own seeded\n\
-         per-shot stream, so every table in this file is bit-identical to the\n\
-         scalar per-shot path at any thread count and any batch size (pinned by\n\
-         a property test across the code catalog × channel shapes × batch\n\
-         sizes).\n\n\
+         entirely, weight-1 (single-check) syndromes resolve from a per-check\n\
+         correction table built by running the real decoder once per check at\n\
+         context bind, and a 4-way set-associative per-syndrome decode cache\n\
+         (`CYCLONE_DECODE_CACHE_SLOTS` slots, conflict evictions counted)\n\
+         replays repeated syndromes as a word-compare plus a copy. Lanes that\n\
+         still reach the OSD fallback hit a warm-started ordered-statistics\n\
+         stage (column-permutation reuse + early-exit elimination, pinned\n\
+         bit-identical to the cold reference `decode_into_cold` by a property\n\
+         test). Each lane consumes its own seeded per-shot stream, so every\n\
+         table in this file is bit-identical to the scalar per-shot path at any\n\
+         thread count and any batch size (pinned by a property test across the\n\
+         code catalog × channel shapes × batch sizes).\n\n\
+         The decode caches persist: `--decode-cache-dir DIR` (or\n\
+         `CYCLONE_DECODE_CACHE_DIR`) stores each channel context's cache as\n\
+         JSON after a sweep and reloads it on the next run, keyed by a digest\n\
+         of the check matrix, BP iteration count, and decode priors — entries\n\
+         are pure decoder outputs, so estimates are bit-identical whether the\n\
+         cache is cold, warm, or deleted.\n\n\
          Error rates are validated at `ErrorChannel` construction: rates above\n\
          the depolarizing maximum (0.75) saturate there with a recorded\n\
          `saturated()` flag instead of being silently clamped mid-sample.\n\n\
          `BENCH_decoder.json` (written by `cargo bench -p bench --bench\n\
          decoder_hotpath`) records the scalar and batch shot rates per channel\n\
-         shape (`channel_shots_per_sec`, `batch_shots_per_sec`), the decode\n\
-         cache hit rate (`batch_cache_hit_rate`), the worst structured-channel\n\
-         penalty vs the uniform batch rate (`structured_penalty_vs_uniform`),\n\
-         and `speedup_vs_pre_pr` computed at run time from the recorded\n\
-         `pre_pr_baseline_shots_per_sec` field. `CYCLONE_ENFORCE=1` (set in CI)\n\
-         turns the recorded thresholds into hard assertions alongside the\n\
-         always-on zero-steady-state-allocation check.\n",
+         shape (`channel_shots_per_sec`, `batch_shots_per_sec`), per-channel\n\
+         `weight1_fastpath_rate` / `osd_fallback_rate` / `cache_hit_rate`\n\
+         (`batch_channel_stats`), the warm and cold OSD stage rates\n\
+         (`osd_stage_decodes_per_sec`), conflict evictions\n\
+         (`batch_cache_evictions`), whether a persisted decode cache was\n\
+         loaded (`decode_cache.{entries_loaded,warm}`), the worst\n\
+         structured-channel penalty vs the uniform batch rate\n\
+         (`structured_penalty_vs_uniform`), and `speedup_vs_pre_pr` computed at\n\
+         run time from the recorded `pre_pr_baseline_shots_per_sec` field.\n\
+         `CYCLONE_ENFORCE=1` (set in CI) turns the recorded thresholds into\n\
+         hard assertions alongside the always-on zero-steady-state-allocation\n\
+         check; CI runs the bench cold then warm against one cache directory\n\
+         and holds the warm run to penalty ≤ 5× and ≥ 300k structured\n\
+         shots/sec.\n",
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");

@@ -20,6 +20,10 @@
 //! * `--no-cache` — bypass the sweep cache (`CYCLONE_NO_CACHE=1`).
 //! * `--cache-dir DIR` — cache directory (`CYCLONE_SWEEP_DIR`, default `sweeps/`
 //!   at the repository root).
+//! * `--decode-cache-dir DIR` — persist per-context decode caches (syndrome →
+//!   correction tables) under DIR across runs (`CYCLONE_DECODE_CACHE_DIR`;
+//!   unset = in-memory only). Estimates are bit-identical either way — entries
+//!   are pure decoder outputs — so this is purely a warm-start lever.
 //!
 //! Adaptive (precision-targeted) sampling:
 //!
@@ -140,6 +144,9 @@ impl RunContext {
             .filter(|s| !s.trim().is_empty())
             .map(PathBuf::from)
             .unwrap_or_else(default_sweep_dir);
+        let mut decode_cache_dir = env("CYCLONE_DECODE_CACHE_DIR")
+            .filter(|s| !s.trim().is_empty())
+            .map(PathBuf::from);
         let mut csv = crate::csv_output();
         let mut full = crate::full_run();
         // `Some(0.0)` is an explicit disable; `None` defers to the `--full`
@@ -180,6 +187,12 @@ impl RunContext {
                 "--cache-dir" => {
                     if let Some(value) = args.get(i + 1) {
                         cache_dir = PathBuf::from(value);
+                        i += 1;
+                    }
+                }
+                "--decode-cache-dir" => {
+                    if let Some(value) = args.get(i + 1) {
+                        decode_cache_dir = Some(PathBuf::from(value));
                         i += 1;
                     }
                 }
@@ -246,6 +259,9 @@ impl RunContext {
         }
         if let NoiseFlag::Biased(ratio) = noise {
             sweep = sweep.with_channel(ChannelSpec::Biased { meas_ratio: ratio });
+        }
+        if let Some(dir) = decode_cache_dir {
+            sweep = sweep.with_decode_cache_dir(dir);
         }
         RunContext {
             config,
@@ -417,6 +433,29 @@ mod tests {
             ctx.cache_dir(),
             Some(std::path::Path::new("/tmp/sweep-test"))
         );
+    }
+
+    #[test]
+    fn decode_cache_dir_flag_threads_into_sweep_options() {
+        // Default: no persistent decode cache (in-memory only).
+        let ctx = RunContext::from_args(&args(&["--shots", "100"]));
+        assert!(ctx.sweep.decode_cache_dir.is_none());
+
+        let ctx = RunContext::from_args(&args(&["--decode-cache-dir", "/tmp/decode-test"]));
+        assert_eq!(
+            ctx.sweep.decode_cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/decode-test"))
+        );
+
+        // Orthogonal to the sweep cache: --no-cache disables result caching but
+        // leaves the decode cache alone.
+        let ctx = RunContext::from_args(&args(&[
+            "--no-cache",
+            "--decode-cache-dir",
+            "/tmp/decode-test",
+        ]));
+        assert!(ctx.cache_dir().is_none());
+        assert!(ctx.sweep.decode_cache_dir.is_some());
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!   requested precision (cache schema 2; schema-1 fixed-shot files stay readable).
 
 use decoder::memory::{
-    estimate_points_adaptive, LerEstimate, LerPoint, MemoryConfig, PrecisionTarget,
+    estimate_points_adaptive_in, LerEstimate, LerPoint, MemoryConfig, PrecisionTarget,
 };
 use noise::ChannelSpec;
 use qec::CssCode;
@@ -182,6 +182,11 @@ pub struct SweepOptions {
     /// [`OperatingPoint::channel`] override) under this spec; `None` keeps the
     /// uniform channel, bit-identical to the engine before channels existed.
     pub channel: Option<ChannelSpec>,
+    /// Directory for persistent per-context decode caches (syndrome → correction
+    /// tables keyed by matrix + priors digest). `None` keeps decode caches
+    /// in-memory only. Estimates are bit-identical either way: cached entries are
+    /// pure decoder outputs.
+    pub decode_cache_dir: Option<PathBuf>,
 }
 
 impl SweepOptions {
@@ -193,6 +198,7 @@ impl SweepOptions {
             cache_dir: None,
             precision: None,
             channel: None,
+            decode_cache_dir: None,
         }
     }
 
@@ -203,6 +209,7 @@ impl SweepOptions {
             cache_dir: Some(dir.into()),
             precision: None,
             channel: None,
+            decode_cache_dir: None,
         }
     }
 
@@ -217,6 +224,14 @@ impl SweepOptions {
     /// (builder style).
     pub fn with_channel(mut self, channel: ChannelSpec) -> Self {
         self.channel = Some(channel);
+        self
+    }
+
+    /// Persists per-context decode caches under `dir` across runs
+    /// (builder style). Safe to enable anywhere: cache entries are pure
+    /// decoder outputs, so estimates stay bit-identical.
+    pub fn with_decode_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.decode_cache_dir = Some(dir.into());
         self
     }
 
@@ -338,7 +353,12 @@ pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
         .iter()
         .map(|&i| options.target_for(&spec.points[i]))
         .collect();
-    let fresh = estimate_points_adaptive(&jobs, &targets, &options.config);
+    let fresh = estimate_points_adaptive_in(
+        &jobs,
+        &targets,
+        &options.config,
+        options.decode_cache_dir.as_deref(),
+    );
 
     let mut fresh_by_index: BTreeMap<usize, LerEstimate> = BTreeMap::new();
     for (&i, est) in misses.iter().zip(fresh) {

@@ -61,6 +61,11 @@ pub struct BeliefPropagation {
     max_iterations: usize,
     /// Min-sum normalization (scaling) factor, typically 0.625–1.0.
     scale: f64,
+    /// Word-packed row supports of `h` (`mask_words` words per check), for the
+    /// AND/XOR-popcount convergence check.
+    check_masks: Vec<u64>,
+    /// Words per check row in `check_masks`: `num_cols.div_ceil(64)`.
+    mask_words: usize,
 }
 
 impl BeliefPropagation {
@@ -73,11 +78,20 @@ impl BeliefPropagation {
     pub fn new(h: SparseBinMat, max_iterations: usize) -> Self {
         assert!(max_iterations > 0, "need at least one BP iteration");
         let graph = TannerGraph::new(&h);
+        let mask_words = h.num_cols().div_ceil(64);
+        let mut check_masks = vec![0u64; h.num_rows() * mask_words];
+        for r in 0..h.num_rows() {
+            for &c in h.row(r) {
+                check_masks[r * mask_words + (c >> 6)] |= 1 << (c & 63);
+            }
+        }
         BeliefPropagation {
             h,
             graph,
             max_iterations,
             scale: 0.75,
+            check_masks,
+            mask_words,
         }
     }
 
@@ -216,6 +230,22 @@ impl BeliefPropagation {
     /// visits edges in exactly the order of the historical nested-`Vec`
     /// implementation (row-major on the check side, ascending-check on the variable
     /// side), so results are bit-identical to it.
+    ///
+    /// Hot-loop structure (every transformation below preserves bit-identity):
+    ///
+    /// * `check_to_var`, `llrs`, `error`, and `err_words` are length-ensured, not
+    ///   refilled — the check pass writes every edge and the variable pass writes
+    ///   every column before anything reads them, and `new()` guarantees at least
+    ///   one iteration;
+    /// * the check pass handles signs branchlessly: `neg` carries the parity of
+    ///   `msg < 0.0` (NOT the IEEE sign bit — `-0.0` must stay "positive", exactly
+    ///   as the branching `total_sign` original), and each output is
+    ///   `±(scale · mag_excl)`, bit-equal to the original
+    ///   `(scale · sign_excl) · mag_excl` because IEEE multiplication signs are
+    ///   exact (sign = XOR of operand signs, magnitude independent of them);
+    /// * the convergence check ANDs the precomputed word-packed row masks against
+    ///   a packed hard-decision vector maintained by the variable pass — pure
+    ///   boolean parity, order-insensitive by commutativity of XOR.
     fn propagate(&self, syndrome: &[bool], scratch: &mut DecoderScratch) -> BpStatus {
         let m = self.h.num_rows();
         let n = self.h.num_cols();
@@ -227,71 +257,103 @@ impl BeliefPropagation {
         );
 
         let num_edges = graph.num_edges();
-        scratch.check_to_var.clear();
-        scratch.check_to_var.resize(num_edges, 0.0);
+        if scratch.check_to_var.len() != num_edges {
+            scratch.check_to_var.resize(num_edges, 0.0);
+        }
+        if scratch.llrs.len() != n {
+            scratch.llrs.resize(n, 0.0);
+        }
+        if scratch.error.len() != n {
+            scratch.error.resize(n, false);
+        }
+        let mask_words = self.mask_words;
+        if scratch.err_words.len() != mask_words {
+            scratch.err_words.resize(mask_words, 0);
+        }
         scratch.var_to_check.clear();
         scratch
             .var_to_check
-            .extend((0..num_edges).map(|e| scratch.channel_llr[graph.var_of(e)]));
-        scratch.llrs.clear();
-        scratch.llrs.resize(n, 0.0);
-        scratch.error.clear();
-        scratch.error.resize(n, false);
+            .extend(graph.edge_vars().iter().map(|&c| scratch.channel_llr[c]));
 
         let check_to_var = &mut scratch.check_to_var;
         let var_to_check = &mut scratch.var_to_check;
         let llrs = &mut scratch.llrs;
         let error = &mut scratch.error;
+        let err_words = &mut scratch.err_words;
         let channel_llr = &scratch.channel_llr;
+        let check_masks = &self.check_masks;
+        let scale = self.scale;
 
         for iteration in 1..=self.max_iterations {
             // Check-node update (min-sum with sign handling and syndrome parity).
             for (r, &syn) in syndrome.iter().enumerate() {
-                let edges = graph.check_edges(r);
-                let mut total_sign = if syn { -1.0f64 } else { 1.0 };
+                let range = graph.check_edges(r);
+                let msgs = &var_to_check[range.clone()];
+                let mut neg = u64::from(syn);
                 let mut min1 = f64::INFINITY;
                 let mut min2 = f64::INFINITY;
-                let mut min1_edge = usize::MAX;
-                for e in edges.clone() {
-                    let msg = var_to_check[e];
-                    if msg < 0.0 {
-                        total_sign = -total_sign;
-                    }
+                let mut min1_idx = usize::MAX;
+                for (j, &msg) in msgs.iter().enumerate() {
+                    neg ^= u64::from(msg < 0.0);
                     let mag = msg.abs();
-                    if mag < min1 {
-                        min2 = min1;
-                        min1 = mag;
-                        min1_edge = e;
+                    // Select-form two-minimum tracking: identical updates to the
+                    // classic `if mag < min1 { shift } else if mag < min2 { .. }`
+                    // ladder, but branch-free (data-dependent float branches on
+                    // near-random magnitudes mispredict ~half the time).
+                    let new1 = mag < min1;
+                    min2 = if new1 {
+                        min1
                     } else if mag < min2 {
-                        min2 = mag;
-                    }
+                        mag
+                    } else {
+                        min2
+                    };
+                    min1 = if new1 { mag } else { min1 };
+                    min1_idx = if new1 { j } else { min1_idx };
                 }
-                for e in edges {
-                    let msg = var_to_check[e];
-                    let sign_excl = if msg < 0.0 { -total_sign } else { total_sign };
-                    let mag_excl = if e == min1_edge { min2 } else { min1 };
-                    check_to_var[e] = self.scale * sign_excl * mag_excl;
+                let scaled1 = scale * min1;
+                let scaled2 = scale * min2;
+                for (j, (&msg, out)) in msgs.iter().zip(&mut check_to_var[range]).enumerate() {
+                    let flip = (neg ^ u64::from(msg < 0.0)) << 63;
+                    let v = if j == min1_idx { scaled2 } else { scaled1 };
+                    *out = f64::from_bits(v.to_bits() ^ flip);
                 }
             }
-            // Variable-node update and hard decision.
-            for c in 0..n {
-                let mut total = channel_llr[c];
-                for &e in graph.var_edges(c) {
-                    total += check_to_var[e];
-                }
-                llrs[c] = total;
-                error[c] = total < 0.0;
-                for &e in graph.var_edges(c) {
-                    var_to_check[e] = total - check_to_var[e];
-                }
+            // Variable-node update, hard decision, and the packed copy of it the
+            // convergence check consumes. Totals are accumulated in a single
+            // row-major edge pass: for any one column, ascending edge id IS
+            // ascending check order (edges are numbered row-major), so each
+            // column's additions happen in exactly the historical
+            // `for e in var_edges(c)` order — bit-identical, with contiguous
+            // `check_to_var` reads instead of a per-variable gather.
+            llrs.copy_from_slice(channel_llr);
+            for (&c, &ctv) in graph.edge_vars().iter().zip(check_to_var.iter()) {
+                llrs[c] += ctv;
+            }
+            for w in err_words.iter_mut() {
+                *w = 0;
+            }
+            for (c, (&total, slot)) in llrs.iter().zip(error.iter_mut()).enumerate() {
+                let bit = total < 0.0;
+                *slot = bit;
+                err_words[c >> 6] |= u64::from(bit) << (c & 63);
+            }
+            for ((&c, &ctv), out) in graph
+                .edge_vars()
+                .iter()
+                .zip(check_to_var.iter())
+                .zip(var_to_check.iter_mut())
+            {
+                *out = llrs[c] - ctv;
             }
             // Convergence: does the hard decision reproduce the syndrome?
             let matches = syndrome.iter().enumerate().all(|(r, &syn)| {
-                let mut parity = false;
-                for e in graph.check_edges(r) {
-                    parity ^= error[graph.var_of(e)];
+                let mask = &check_masks[r * mask_words..(r + 1) * mask_words];
+                let mut acc = 0u64;
+                for (&mw, &ew) in mask.iter().zip(err_words.iter()) {
+                    acc ^= mw & ew;
                 }
-                parity == syn
+                (acc.count_ones() & 1 == 1) == syn
             });
             if matches {
                 return BpStatus {

@@ -5,48 +5,150 @@
 //! decoder a heavily repeated syndrome distribution (at `p ~ 3e-3` on
 //! `[[72,12,6]]`, most non-trivial shots carry a single data error or a single
 //! measurement flip, i.e. one of ~100 distinct syndromes per sector), so a small
-//! direct-mapped cache keyed by the packed syndrome bits turns the vast majority
-//! of decodes into a word-compare plus a copy. Because every entry stores the
-//! exact output the decoder would produce, cache hits are bit-identical to cache
-//! misses: estimates do not depend on hit order, eviction pattern, thread count,
-//! or batch size.
+//! set-associative cache keyed by the packed syndrome bits turns the vast
+//! majority of decodes into a word-compare plus a copy. Because every entry
+//! stores the exact output the decoder would produce, cache hits are
+//! bit-identical to cache misses: estimates do not depend on hit order, eviction
+//! pattern, thread count, or batch size.
+//!
+//! The cache is 4-way set-associative with round-robin eviction inside a set —
+//! direct mapping showed measurable conflict misses at 16k slots once structured
+//! channels fattened the syndrome distribution. Total slot count is configurable
+//! via `CYCLONE_DECODE_CACHE_SLOTS` (power of two), and conflict evictions are
+//! counted next to hits/misses so associativity gains stay observable.
 //!
 //! The cache is context-tagged: [`DecodeCache::ensure`] clears it whenever the
 //! decoding context (matrix shape + priors identity) changes, so a scratch that
 //! migrates between sectors or channels can never replay a stale correction.
+//!
+//! A bound cache can also be persisted ([`DecodeCache::save_to`] /
+//! [`DecodeCache::load_from`]): the file records the context tag and word
+//! shapes, and a load only admits entries whose context matches the currently
+//! bound one, so sweep re-runs and CI warm runs skip the compulsory-miss wall
+//! without ever replaying a correction from a foreign matrix or channel.
 
-/// Number of direct-mapped slots (power of two). Sized to hold the popular
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Associativity: ways per set. Four ways absorb the conflict chains that a
+/// direct-mapped table shows on structured-channel syndrome mixes while keeping
+/// the probe loop short enough to stay in the word-compare regime.
+const WAYS: usize = 4;
+
+/// Default number of cache slots (power of two). Sized to hold the popular
 /// syndromes of the catalog codes — singles plus most of the two-event tail,
 /// a few thousand distinct at physical rates — while keeping the per-worker
-/// footprint small (SLOTS × (syndrome + correction) words, ~400 KiB here).
-const SLOTS: usize = 16384;
+/// footprint small (slots × (syndrome + correction) words, ~400 KiB here).
+pub const DEFAULT_SLOTS: usize = 16384;
 
-/// A direct-mapped syndrome → correction cache for one decoding context.
-#[derive(Debug, Clone, Default)]
+/// Schema version written by [`DecodeCache::save_to`].
+const PERSIST_SCHEMA: u64 = 1;
+
+/// File-format marker written by [`DecodeCache::save_to`].
+const PERSIST_KIND: &str = "cyclone-decode-cache";
+
+/// Parses a `CYCLONE_DECODE_CACHE_SLOTS`-style override. `None` (unset) yields
+/// [`DEFAULT_SLOTS`]; a set value must parse as a power of two with at least
+/// one full set ([`WAYS`] slots).
+fn parse_slots(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else {
+        return Ok(DEFAULT_SLOTS);
+    };
+    let value: usize = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("CYCLONE_DECODE_CACHE_SLOTS: not an integer: {raw:?}"))?;
+    if !value.is_power_of_two() || value < WAYS {
+        return Err(format!(
+            "CYCLONE_DECODE_CACHE_SLOTS: must be a power of two >= {WAYS}, got {value}"
+        ));
+    }
+    Ok(value)
+}
+
+/// The process-wide slot count (env override read once).
+fn env_slots() -> usize {
+    static SLOTS: OnceLock<usize> = OnceLock::new();
+    *SLOTS.get_or_init(|| {
+        let raw = std::env::var("CYCLONE_DECODE_CACHE_SLOTS").ok();
+        match parse_slots(raw.as_deref()) {
+            Ok(slots) => slots,
+            Err(message) => panic!("{message}"),
+        }
+    })
+}
+
+/// A set-associative syndrome → correction cache for one decoding context.
+#[derive(Debug, Clone)]
 pub struct DecodeCache {
     /// Context tag: digest of the decoding context (sector matrix shape + priors
     /// identity). A mismatch in [`DecodeCache::ensure`] clears every slot.
     tag: u64,
+    /// Total slots (`sets × WAYS`), power of two.
+    slots: usize,
     /// Words per packed syndrome (`ceil(checks / 64)`).
     syn_words: usize,
     /// Words per packed correction (`ceil(vars / 64)`).
     corr_words: usize,
-    /// Slot occupancy flags.
+    /// Slot occupancy flags, way-major within each set.
     valid: Vec<bool>,
-    /// Packed syndromes, `SLOTS × syn_words`, slot-major.
+    /// Packed syndromes, `slots × syn_words`, slot-major.
     syn: Vec<u64>,
-    /// Packed corrections, `SLOTS × corr_words`, slot-major.
+    /// Packed corrections, `slots × corr_words`, slot-major.
     corr: Vec<u64>,
+    /// Per-set round-robin eviction cursor.
+    next_way: Vec<u8>,
     /// Lookup hits since the last clear (telemetry for tests/benches).
     hits: u64,
     /// Lookup misses since the last clear.
     misses: u64,
+    /// Conflict evictions (insert into a full set) since the last clear.
+    evictions: u64,
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DecodeCache {
-    /// Creates an empty cache; storage is sized by the first [`DecodeCache::ensure`].
+    /// Creates an empty cache sized by `CYCLONE_DECODE_CACHE_SLOTS` (default
+    /// [`DEFAULT_SLOTS`]); storage is allocated by the first
+    /// [`DecodeCache::ensure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `CYCLONE_DECODE_CACHE_SLOTS` is set to anything other than a
+    /// power of two with at least one full set.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_slots(env_slots())
+    }
+
+    /// Creates an empty cache with an explicit total slot count (must be a
+    /// power of two holding at least one full set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is not a power of two at least [`WAYS`].
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(
+            slots.is_power_of_two() && slots >= WAYS,
+            "DecodeCache slots must be a power of two >= {WAYS}, got {slots}"
+        );
+        Self {
+            tag: 0,
+            slots,
+            syn_words: 0,
+            corr_words: 0,
+            valid: Vec::new(),
+            syn: Vec::new(),
+            corr: Vec::new(),
+            next_way: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Binds the cache to a decoding context, clearing it if the context changed.
@@ -66,29 +168,37 @@ impl DecodeCache {
         self.syn_words = syn_words;
         self.corr_words = corr_words;
         self.valid.clear();
-        self.valid.resize(SLOTS, false);
+        self.valid.resize(self.slots, false);
         self.syn.clear();
-        self.syn.resize(SLOTS * syn_words, 0);
+        self.syn.resize(self.slots * syn_words, 0);
         self.corr.clear();
-        self.corr.resize(SLOTS * corr_words, 0);
+        self.corr.resize(self.slots * corr_words, 0);
+        self.next_way.clear();
+        self.next_way.resize(self.slots / WAYS, 0);
         self.hits = 0;
         self.misses = 0;
+        self.evictions = 0;
     }
 
-    /// The direct-mapped slot of a packed syndrome.
-    fn slot_of(&self, syn: &[u64]) -> usize {
+    /// The set index of a packed syndrome.
+    fn set_of(&self, syn: &[u64]) -> usize {
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for &w in syn {
             hash ^= w;
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
         // A multiply alone never diffuses a bit *downward*, so without a
-        // finalizer every weight-1 syndrome above bit log2(SLOTS) would share
-        // one slot. Murmur3's fmix64 spreads every syndrome bit into the index.
+        // finalizer every weight-1 syndrome above bit log2(sets) would share
+        // one set. Murmur3's fmix64 spreads every syndrome bit into the index.
         hash ^= hash >> 33;
         hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
         hash ^= hash >> 33;
-        (hash as usize) & (SLOTS - 1)
+        (hash as usize) & (self.slots / WAYS - 1)
+    }
+
+    /// The storage slot of `(set, way)`.
+    fn slot_index(&self, set: usize, way: usize) -> usize {
+        set * WAYS + way
     }
 
     /// Looks up a packed syndrome; on a hit returns the stored packed correction.
@@ -98,19 +208,24 @@ impl DecodeCache {
     /// Panics (debug) if `syn` does not match the bound context's word count.
     pub fn lookup(&mut self, syn: &[u64]) -> Option<&[u64]> {
         debug_assert_eq!(syn.len(), self.syn_words);
-        let slot = self.slot_of(syn);
-        let stored = &self.syn[slot * self.syn_words..(slot + 1) * self.syn_words];
-        if self.valid[slot] && stored == syn {
-            self.hits += 1;
-            Some(&self.corr[slot * self.corr_words..(slot + 1) * self.corr_words])
-        } else {
-            self.misses += 1;
-            None
+        let set = self.set_of(syn);
+        for way in 0..WAYS {
+            let slot = self.slot_index(set, way);
+            let stored = &self.syn[slot * self.syn_words..(slot + 1) * self.syn_words];
+            if self.valid[slot] && stored == syn {
+                self.hits += 1;
+                return Some(&self.corr[slot * self.corr_words..(slot + 1) * self.corr_words]);
+            }
         }
+        self.misses += 1;
+        None
     }
 
-    /// Stores the correction for a syndrome (overwriting whatever occupied the
-    /// slot — direct-mapped eviction never affects results, only hit rates).
+    /// Stores the correction for a syndrome. An already-present syndrome is
+    /// overwritten in place; otherwise an invalid way is filled, or — when the
+    /// set is full — the round-robin victim way is evicted (counted in
+    /// [`DecodeCache::evictions`]; eviction never affects results, only hit
+    /// rates, because every entry is the exact decoder output).
     ///
     /// # Panics
     ///
@@ -118,7 +233,28 @@ impl DecodeCache {
     pub fn insert(&mut self, syn: &[u64], corr: &[u64]) {
         debug_assert_eq!(syn.len(), self.syn_words);
         debug_assert_eq!(corr.len(), self.corr_words);
-        let slot = self.slot_of(syn);
+        let set = self.set_of(syn);
+        let mut victim = None;
+        for way in 0..WAYS {
+            let slot = self.slot_index(set, way);
+            let stored = &self.syn[slot * self.syn_words..(slot + 1) * self.syn_words];
+            if self.valid[slot] && stored == syn {
+                victim = Some(slot);
+                break;
+            }
+            if !self.valid[slot] && victim.is_none() {
+                victim = Some(slot);
+            }
+        }
+        let slot = match victim {
+            Some(slot) => slot,
+            None => {
+                let way = usize::from(self.next_way[set]);
+                self.next_way[set] = ((way + 1) % WAYS) as u8;
+                self.evictions += 1;
+                self.slot_index(set, way)
+            }
+        };
         self.valid[slot] = true;
         self.syn[slot * self.syn_words..(slot + 1) * self.syn_words].copy_from_slice(syn);
         self.corr[slot * self.corr_words..(slot + 1) * self.corr_words].copy_from_slice(corr);
@@ -133,6 +269,163 @@ impl DecodeCache {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Conflict evictions (inserts into a full set) since the last (re)bind.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of valid entries currently stored.
+    pub fn len(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Whether the cache holds no entries (or is unbound).
+    pub fn is_empty(&self) -> bool {
+        !self.valid.iter().any(|&v| v)
+    }
+
+    /// Serializes every valid entry (plus the context tag and word shapes) to
+    /// `path` as JSON, via an atomic temp-file + rename in the same directory,
+    /// so readers never observe a torn file. Entries are pure decoder outputs,
+    /// so the file is a throwaway accelerator: deleting it at any time only
+    /// costs warm-up misses, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing or renaming the temp file.
+    pub fn save_to(&self, path: &Path) -> std::io::Result<()> {
+        use serde_json::Value;
+        use std::collections::BTreeMap;
+
+        let mut entries = Vec::new();
+        for slot in 0..self.slots.min(self.valid.len()) {
+            if !self.valid[slot] {
+                continue;
+            }
+            let syn = &self.syn[slot * self.syn_words..(slot + 1) * self.syn_words];
+            let corr = &self.corr[slot * self.corr_words..(slot + 1) * self.corr_words];
+            let mut entry = BTreeMap::new();
+            entry.insert("s".to_string(), Value::String(words_to_hex(syn)));
+            entry.insert("c".to_string(), Value::String(words_to_hex(corr)));
+            entries.push(Value::Object(entry));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("kind".to_string(), Value::String(PERSIST_KIND.to_string()));
+        root.insert("schema".to_string(), Value::Number(PERSIST_SCHEMA as f64));
+        root.insert(
+            "tag".to_string(),
+            Value::String(format!("{:016x}", self.tag)),
+        );
+        root.insert(
+            "syn_words".to_string(),
+            Value::Number(self.syn_words as f64),
+        );
+        root.insert(
+            "corr_words".to_string(),
+            Value::Number(self.corr_words as f64),
+        );
+        root.insert("entries".to_string(), Value::Array(entries));
+        let text = serde_json::to_string(&Value::Object(root));
+
+        // Atomic publish: unique temp name in the same directory, then rename.
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("decode-cache.json");
+        let nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let tmp = dir.join(format!(".{name}.tmp.{}.{nonce}", std::process::id()));
+        std::fs::write(&tmp, text)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(err)
+            }
+        }
+    }
+
+    /// Loads persisted entries from `path` into the cache, which must already
+    /// be bound (via [`DecodeCache::ensure`]) to the context the file was
+    /// saved under. Entries are admitted through the normal insert path, so a
+    /// file saved at one slot count loads cleanly into any other.
+    ///
+    /// Returns the number of entries admitted. Any mismatch — missing or
+    /// unreadable file, corrupt JSON, foreign kind/schema, or a context tag or
+    /// word shape different from the bound one — loads nothing and returns 0:
+    /// a persisted cache is an accelerator, never a correctness input.
+    pub fn load_from(&mut self, path: &Path) -> usize {
+        if self.valid.is_empty() {
+            return 0;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return 0;
+        };
+        let Ok(root) = serde_json::from_str(&text) else {
+            return 0;
+        };
+        if root.get("kind").and_then(|v| v.as_str()) != Some(PERSIST_KIND)
+            || root.get("schema").and_then(|v| v.as_u64()) != Some(PERSIST_SCHEMA)
+            || root.get("tag").and_then(|v| v.as_str())
+                != Some(format!("{:016x}", self.tag).as_str())
+            || root.get("syn_words").and_then(|v| v.as_u64()) != Some(self.syn_words as u64)
+            || root.get("corr_words").and_then(|v| v.as_u64()) != Some(self.corr_words as u64)
+        {
+            return 0;
+        }
+        let Some(entries) = root.get("entries").and_then(|v| v.as_array()) else {
+            return 0;
+        };
+        let mut syn = vec![0u64; self.syn_words];
+        let mut corr = vec![0u64; self.corr_words];
+        let mut loaded = 0;
+        for entry in entries {
+            let Some(s) = entry.get("s").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            let Some(c) = entry.get("c").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            if hex_to_words(s, &mut syn).is_err() || hex_to_words(c, &mut corr).is_err() {
+                continue;
+            }
+            self.insert(&syn, &corr);
+            loaded += 1;
+        }
+        loaded
+    }
+}
+
+/// Encodes packed words as lowercase fixed-width hex, comma-joined. Hex strings
+/// keep `u64` payloads exact through the JSON shim, whose numbers are `f64`
+/// (lossy above 2^53).
+fn words_to_hex(words: &[u64]) -> String {
+    let mut out = String::with_capacity(words.len() * 17);
+    for (i, &w) in words.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{w:016x}"));
+    }
+    out
+}
+
+/// Decodes a [`words_to_hex`] string into `out`; errors on any shape or digit
+/// mismatch.
+fn hex_to_words(text: &str, out: &mut [u64]) -> Result<(), ()> {
+    let mut parts = text.split(',');
+    for slot in out.iter_mut() {
+        let part = parts.next().ok_or(())?;
+        *slot = u64::from_str_radix(part, 16).map_err(|_| ())?;
+    }
+    if parts.next().is_some() {
+        return Err(());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -150,6 +443,8 @@ mod tests {
         assert_eq!(cache.lookup(&syn), Some(&corr[..]));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
@@ -170,7 +465,7 @@ mod tests {
 
     #[test]
     fn distinct_syndromes_do_not_alias_results() {
-        // Even when two syndromes collide on a slot, the full-syndrome compare
+        // Even when two syndromes collide on a set, the full-syndrome compare
         // prevents one's correction from being returned for the other.
         let mut cache = DecodeCache::new();
         cache.ensure(1, 64, 64);
@@ -187,5 +482,134 @@ mod tests {
                 assert_eq!(corr, &[s ^ 0xABCD]);
             }
         }
+    }
+
+    #[test]
+    fn set_retains_up_to_four_conflicting_syndromes() {
+        // A minimal cache with a single set: the first WAYS distinct syndromes
+        // must all be retained simultaneously (direct mapping kept only one).
+        let mut cache = DecodeCache::with_slots(WAYS);
+        cache.ensure(3, 64, 64);
+        let syndromes: Vec<[u64; 1]> = (1..=WAYS as u64).map(|s| [s]).collect();
+        for syn in &syndromes {
+            cache.insert(syn, &[syn[0] * 10]);
+        }
+        assert_eq!(cache.evictions(), 0);
+        for syn in &syndromes {
+            assert_eq!(cache.lookup(syn), Some(&[syn[0] * 10][..]));
+        }
+        assert_eq!(cache.hits(), WAYS as u64);
+    }
+
+    #[test]
+    fn full_set_evicts_round_robin_and_counts() {
+        let mut cache = DecodeCache::with_slots(WAYS);
+        cache.ensure(3, 64, 64);
+        for s in 1..=WAYS as u64 + 2 {
+            cache.insert(&[s], &[s]);
+        }
+        // Two inserts past capacity evicted two victims.
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), WAYS);
+        // The newest entries are present.
+        assert!(cache.lookup(&[WAYS as u64 + 1]).is_some());
+        assert!(cache.lookup(&[WAYS as u64 + 2]).is_some());
+    }
+
+    #[test]
+    fn reinserting_same_syndrome_overwrites_in_place() {
+        let mut cache = DecodeCache::with_slots(WAYS);
+        cache.ensure(3, 64, 64);
+        cache.insert(&[5], &[1]);
+        cache.insert(&[5], &[2]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.lookup(&[5]), Some(&[2u64][..]));
+    }
+
+    #[test]
+    fn slots_parse_validates() {
+        assert_eq!(parse_slots(None), Ok(DEFAULT_SLOTS));
+        assert_eq!(parse_slots(Some("4096")), Ok(4096));
+        assert_eq!(parse_slots(Some(" 64 ")), Ok(64));
+        assert!(parse_slots(Some("1000")).is_err()); // not a power of two
+        assert!(parse_slots(Some("2")).is_err()); // below one set
+        assert!(parse_slots(Some("zero")).is_err());
+        assert!(parse_slots(Some("-64")).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn with_slots_rejects_non_power_of_two() {
+        let _ = DecodeCache::with_slots(100);
+    }
+
+    #[test]
+    fn persisted_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("decode-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+
+        let mut cache = DecodeCache::with_slots(64);
+        cache.ensure(0xDEAD_BEEF, 72, 144);
+        for s in 1..40u64 {
+            cache.insert(&[s, s << 32], &[!s, s.rotate_left(7), 0]);
+        }
+        let stored = cache.len();
+        cache.save_to(&path).unwrap();
+
+        // A fresh cache bound to the same context (different slot count to
+        // prove slot-layout independence) admits every entry; a smaller
+        // geometry may conflict-evict some, but never corrupts the rest.
+        let mut warm = DecodeCache::with_slots(256);
+        warm.ensure(0xDEAD_BEEF, 72, 144);
+        assert_eq!(warm.load_from(&path), stored);
+        let evicted = warm.evictions() as usize;
+        assert_eq!(warm.len(), stored - evicted);
+        let mut surviving = 0;
+        for s in 1..40u64 {
+            if let Some(corr) = warm.lookup(&[s, s << 32]) {
+                assert_eq!(corr, &[!s, s.rotate_left(7), 0][..]);
+                surviving += 1;
+            }
+        }
+        assert_eq!(surviving, stored - evicted);
+        assert!(surviving > stored / 2, "eviction ate the cache");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_load_rejects_foreign_context_and_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!("decode-cache-rej-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        let mut cache = DecodeCache::with_slots(64);
+        cache.ensure(1, 72, 144);
+        cache.insert(&[1, 2], &[3, 4, 5]);
+        cache.save_to(&path).unwrap();
+
+        // Foreign tag: nothing loads.
+        let mut other = DecodeCache::with_slots(64);
+        other.ensure(2, 72, 144);
+        assert_eq!(other.load_from(&path), 0);
+        // Foreign shape: nothing loads.
+        let mut shaped = DecodeCache::with_slots(64);
+        shaped.ensure(1, 72, 288);
+        assert_eq!(shaped.load_from(&path), 0);
+        // Unbound cache: nothing loads.
+        assert_eq!(DecodeCache::with_slots(64).load_from(&path), 0);
+        // Missing file: nothing loads.
+        let mut fresh = DecodeCache::with_slots(64);
+        fresh.ensure(1, 72, 144);
+        assert_eq!(fresh.load_from(&dir.join("missing.json")), 0);
+        // Corrupt JSON: nothing loads, cache still usable.
+        std::fs::write(&path, "{ not json").unwrap();
+        assert_eq!(fresh.load_from(&path), 0);
+        fresh.insert(&[9, 9], &[9, 9, 9]);
+        assert_eq!(fresh.lookup(&[9, 9]), Some(&[9u64, 9, 9][..]));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -11,7 +11,7 @@
 //! (error/syndrome/residual buffers plus one [`DecoderScratch`] per sector decoder),
 //! so steady-state sampling performs zero heap allocation.
 
-use crate::bposd::BpOsdDecoder;
+use crate::bposd::{BpOsdDecoder, DecodeMethod};
 use crate::cache::DecodeCache;
 use crate::scratch::DecoderScratch;
 use noise::{ChannelSpec, ErrorChannel, HardwareNoiseModel};
@@ -20,6 +20,7 @@ use qec::CssCode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// An estimated logical error rate with sampling statistics.
@@ -226,25 +227,58 @@ impl ShotScratch {
     }
 }
 
-/// Per-worker workspace of the bit-sliced batch sampler
-/// ([`MemoryExperiment::sample_batch_with`]): 64 shots travel together, one bit
-/// per `u64` lane, so error patterns, measurement flips, syndromes, corrections,
-/// and logical-failure parities are all held column-major as words. Buffers are
-/// sized on the first batch and reused — zero heap allocation in steady state —
-/// and each sector keeps its own [`DecoderScratch`] and [`DecodeCache`].
+/// Precomputed corrections for every weight-1 syndrome of one decode context.
+///
+/// A weight-1 syndrome under measurement noise is overwhelmingly a single
+/// measurement-check flip — a "re-measure" event whose correction is known in
+/// advance — and when it is instead caused by a data error whose column is that
+/// unit vector, the table entry covers that case too, because every entry is
+/// built by running the real sector decode on the single-bit syndrome `e_r`.
+/// Decoding is a pure function of `(matrix, priors, syndrome)`, so the table
+/// lookup is bit-identical to a live decode while bypassing BP *and* OSD.
 #[derive(Debug, Clone, Default)]
-pub struct BatchScratch {
-    x_decode: DecoderScratch,
-    z_decode: DecoderScratch,
-    /// X-frame error words, qubit-major: bit `k` of `[q]` = shot `k` has an X at `q`.
-    x_err_words: Vec<u64>,
-    /// Z-frame error words, qubit-major.
-    z_err_words: Vec<u64>,
-    /// Measurement-flip words for the X-sector checks (head of the channel's
-    /// check-major layout), check-major.
-    xflip_words: Vec<u64>,
-    /// Measurement-flip words for the Z-sector checks (tail), check-major.
-    zflip_words: Vec<u64>,
+struct Weight1Table {
+    /// Context tag the table was built for (same identity as [`DecodeCache`]).
+    tag: u64,
+    /// Words per packed correction row.
+    corr_words: usize,
+    /// Number of checks (rows of the table).
+    rows: usize,
+    /// `rows × corr_words` packed corrections, check-major.
+    corr: Vec<u64>,
+    /// Whether the table holds corrections for the bound context.
+    built: bool,
+}
+
+/// Aggregate decode-resolution counters of one [`BatchScratch`], accumulated
+/// since the scratch was created (never reset by context rebinds): how active
+/// lanes were resolved. `decoded` counts full BP(+OSD) decodes — i.e. lanes not
+/// served by the weight-1 table or the decode cache — and `osd_fallbacks` the
+/// subset that needed the OSD stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Active (non-zero-syndrome) lanes seen.
+    pub active_lanes: u64,
+    /// Lanes resolved by the weight-1 fast-path table.
+    pub weight1_hits: u64,
+    /// Lanes that ran a full decode (cache and weight-1 misses).
+    pub decoded: u64,
+    /// Full decodes that fell through BP to the OSD stage.
+    pub osd_fallbacks: u64,
+}
+
+/// One sector's decode state in a [`BatchScratch`]: the decoder scratch, the
+/// per-syndrome cache, and the weight-1 fast-path table.
+#[derive(Debug, Clone, Default)]
+struct SectorBatch {
+    decode: DecoderScratch,
+    cache: DecodeCache,
+    w1: Weight1Table,
+}
+
+/// The lane (de)packing buffers shared by both sectors of a batch decode.
+#[derive(Debug, Clone, Default)]
+struct LaneBuffers {
     /// Per-sector syndrome words, check-major (reused across sectors).
     syn_words: Vec<u64>,
     /// Correction words, qubit-major (reused across sectors).
@@ -255,8 +289,32 @@ pub struct BatchScratch {
     syn_pack: Vec<u64>,
     /// One shot's correction packed 64-qubits-per-word (decode-cache value).
     corr_pack: Vec<u64>,
-    x_cache: DecodeCache,
-    z_cache: DecodeCache,
+}
+
+/// Per-worker workspace of the bit-sliced batch sampler
+/// ([`MemoryExperiment::sample_batch_with`]): 64 shots travel together, one bit
+/// per `u64` lane, so error patterns, measurement flips, syndromes, corrections,
+/// and logical-failure parities are all held column-major as words. Buffers are
+/// sized on the first batch and reused — zero heap allocation in steady state —
+/// and each sector keeps its own [`DecoderScratch`], [`DecodeCache`], and
+/// weight-1 fast-path table.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    x: SectorBatch,
+    z: SectorBatch,
+    /// X-frame error words, qubit-major: bit `k` of `[q]` = shot `k` has an X at `q`.
+    x_err_words: Vec<u64>,
+    /// Z-frame error words, qubit-major.
+    z_err_words: Vec<u64>,
+    /// Measurement-flip words for the X-sector checks (head of the channel's
+    /// check-major layout), check-major.
+    xflip_words: Vec<u64>,
+    /// Measurement-flip words for the Z-sector checks (tail), check-major.
+    zflip_words: Vec<u64>,
+    /// Shared lane (de)packing buffers.
+    lanes: LaneBuffers,
+    /// Decode-resolution counters (monotone over the scratch's lifetime).
+    stats: BatchStats,
 }
 
 impl BatchScratch {
@@ -269,9 +327,19 @@ impl BatchScratch {
     /// bound (telemetry for benches and tests).
     pub fn cache_stats(&self) -> (u64, u64) {
         (
-            self.x_cache.hits() + self.z_cache.hits(),
-            self.x_cache.misses() + self.z_cache.misses(),
+            self.x.cache.hits() + self.z.cache.hits(),
+            self.x.cache.misses() + self.z.cache.misses(),
         )
+    }
+
+    /// Conflict-eviction total over both sector caches since their last bind.
+    pub fn cache_evictions(&self) -> u64 {
+        self.x.cache.evictions() + self.z.cache.evictions()
+    }
+
+    /// Decode-resolution counters accumulated since the scratch was created.
+    pub fn stats(&self) -> BatchStats {
+        self.stats
     }
 }
 
@@ -304,6 +372,10 @@ pub struct MemoryExperiment<'a> {
     x_ctx: u64,
     /// Decode-context base tag of the Z-sector decoder (`Hx` + cap).
     z_ctx: u64,
+    /// Directory for persisted decode caches: when set, every Monte-Carlo worker
+    /// loads matching per-sector cache files at startup and stores its caches
+    /// back when it finishes (see [`MemoryExperiment::set_decode_cache_dir`]).
+    decode_cache_dir: Option<PathBuf>,
 }
 
 /// Flattens logical operators from dense masks to index supports.
@@ -367,6 +439,7 @@ impl<'a> MemoryExperiment<'a> {
             logical_z_supports: supports_of(code.logical_z()),
             x_ctx: matrix_tag(code.hz(), bp_iterations),
             z_ctx: matrix_tag(code.hx(), bp_iterations),
+            decode_cache_dir: None,
         };
         exp.rebuild_priors();
         exp
@@ -426,6 +499,96 @@ impl<'a> MemoryExperiment<'a> {
     /// The channel currently driving the sampler.
     pub fn channel(&self) -> &ErrorChannel {
         &self.channel
+    }
+
+    /// Sets (or clears) the persistent decode-cache directory. When set, every
+    /// worker of [`run`](MemoryExperiment::run) and
+    /// [`run_adaptive_batched`](MemoryExperiment::run_adaptive_batched) loads
+    /// matching per-sector cache files before sampling and stores its caches
+    /// back afterwards (atomic rename, last writer wins — every complete file is
+    /// valid, entries are pure decoder outputs). Files are keyed by code label,
+    /// sector, and the full decode-context digest (matrix + BP cap + priors), so
+    /// a stale or foreign file can never contribute an entry; deleting the
+    /// directory at any time only costs warm-up misses.
+    pub fn set_decode_cache_dir(&mut self, dir: Option<PathBuf>) {
+        self.decode_cache_dir = dir;
+    }
+
+    /// The current per-sector decode-context tags `(x, z)`: the matrix digests
+    /// mixed with the active channel's priors identity. This is the identity
+    /// under which [`DecodeCache`]s bind and persisted cache files are named.
+    fn sector_contexts(&self) -> (u64, u64) {
+        let prior_bits = match self.channel.uniform_rate() {
+            Some(p) => p.clamp(1e-9, 0.45).to_bits(),
+            None => self.priors_key,
+        };
+        (
+            mix_ctx(self.x_ctx, prior_bits),
+            mix_ctx(self.z_ctx, prior_bits),
+        )
+    }
+
+    /// The persisted-cache file path of one sector context inside `dir`.
+    fn decode_cache_path(&self, dir: &Path, sector: char, ctx: u64) -> PathBuf {
+        let label: String = self
+            .code
+            .descriptor()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        dir.join(format!(
+            "decode-{}-{sector}-{ctx:016x}.json",
+            label.trim_matches('-')
+        ))
+    }
+
+    /// Binds both sector caches of `batch` to the experiment's current decode
+    /// contexts and loads any matching persisted cache files from `dir`.
+    /// Returns the number of entries admitted (0 when no file matches — a
+    /// persisted cache is an accelerator, never a correctness input).
+    pub fn load_decode_caches(&self, dir: &Path, batch: &mut BatchScratch) -> usize {
+        let n = self.code.num_qubits();
+        let (x_ctx, z_ctx) = self.sector_contexts();
+        let mut loaded = 0;
+        let m_x = self.x_decoder.check_matrix().num_rows();
+        batch.x.cache.ensure(x_ctx, m_x, n);
+        loaded += batch
+            .x
+            .cache
+            .load_from(&self.decode_cache_path(dir, 'x', x_ctx));
+        let m_z = self.z_decoder.check_matrix().num_rows();
+        batch.z.cache.ensure(z_ctx, m_z, n);
+        loaded += batch
+            .z
+            .cache
+            .load_from(&self.decode_cache_path(dir, 'z', z_ctx));
+        loaded
+    }
+
+    /// Stores both sector caches of `batch` (those bound and non-empty) into
+    /// `dir`, creating it if needed. Each file is published with an atomic
+    /// temp-file + rename, so concurrent workers never tear a file — the last
+    /// complete writer wins, and any complete file is valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error from creating the directory or writing a file.
+    pub fn store_decode_caches(&self, dir: &Path, batch: &BatchScratch) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let (x_ctx, z_ctx) = self.sector_contexts();
+        if !batch.x.cache.is_empty() {
+            batch
+                .x
+                .cache
+                .save_to(&self.decode_cache_path(dir, 'x', x_ctx))?;
+        }
+        if !batch.z.cache.is_empty() {
+            batch
+                .z
+                .cache
+                .save_to(&self.decode_cache_path(dir, 'z', z_ctx))?;
+        }
+        Ok(())
     }
 
     fn rebuild_priors(&mut self) {
@@ -532,26 +695,23 @@ impl<'a> MemoryExperiment<'a> {
     }
 
     /// One sector decode: the uniform channel keeps the cached-LLR scalar path,
-    /// structured channels pass the per-bit priors.
+    /// structured channels pass the per-bit priors. Returns the decode status
+    /// (which stage resolved the syndrome) for fallback-rate telemetry.
     fn decode_sector(
         &self,
         decoder: &BpOsdDecoder,
         uniform: Option<f64>,
         syndrome: &[bool],
         scratch: &mut DecoderScratch,
-    ) {
+    ) -> crate::bposd::DecodeStatus {
         match uniform {
-            Some(p) => {
-                decoder.decode_into(syndrome, p.clamp(1e-9, 0.45), scratch);
-            }
-            None => {
-                decoder.decode_with_priors_keyed_into(
-                    syndrome,
-                    &self.priors,
-                    self.priors_key,
-                    scratch,
-                );
-            }
+            Some(p) => decoder.decode_into(syndrome, p.clamp(1e-9, 0.45), scratch),
+            None => decoder.decode_with_priors_keyed_into(
+                syndrome,
+                &self.priors,
+                self.priors_key,
+                scratch,
+            ),
         }
     }
 
@@ -645,13 +805,9 @@ impl<'a> MemoryExperiment<'a> {
             &batch.x_err_words,
             &batch.zflip_words,
             &self.logical_z_supports,
-            &mut batch.syn_words,
-            &mut batch.corr_words,
-            &mut batch.syndrome,
-            &mut batch.syn_pack,
-            &mut batch.corr_pack,
-            &mut batch.x_decode,
-            &mut batch.x_cache,
+            &mut batch.lanes,
+            &mut batch.x,
+            &mut batch.stats,
         );
         let fail_z = self.batch_decode_sector(
             &self.z_decoder,
@@ -660,13 +816,9 @@ impl<'a> MemoryExperiment<'a> {
             &batch.z_err_words,
             &batch.xflip_words,
             &self.logical_x_supports,
-            &mut batch.syn_words,
-            &mut batch.corr_words,
-            &mut batch.syndrome,
-            &mut batch.syn_pack,
-            &mut batch.corr_pack,
-            &mut batch.z_decode,
-            &mut batch.z_cache,
+            &mut batch.lanes,
+            &mut batch.z,
+            &mut batch.stats,
         );
         let mask = if count == 64 {
             u64::MAX
@@ -677,8 +829,9 @@ impl<'a> MemoryExperiment<'a> {
     }
 
     /// One sector of the batch path: word-level syndrome extraction and
-    /// measurement flips, cache-backed decoding of the active lanes, and
-    /// word-level logical-failure parities. Returns the sector's failure mask.
+    /// measurement flips, weight-1-table and cache-backed decoding of the active
+    /// lanes, and word-level logical-failure parities. Returns the sector's
+    /// failure mask.
     #[allow(clippy::too_many_arguments)]
     fn batch_decode_sector(
         &self,
@@ -688,56 +841,82 @@ impl<'a> MemoryExperiment<'a> {
         err_words: &[u64],
         flip_words: &[u64],
         logicals: &[Vec<usize>],
-        syn_words: &mut Vec<u64>,
-        corr_words: &mut Vec<u64>,
-        syndrome: &mut Vec<bool>,
-        syn_pack: &mut Vec<u64>,
-        corr_pack: &mut Vec<u64>,
-        decode: &mut DecoderScratch,
-        cache: &mut DecodeCache,
+        lanes: &mut LaneBuffers,
+        sector: &mut SectorBatch,
+        stats: &mut BatchStats,
     ) -> u64 {
         let n = err_words.len();
         let h = decoder.check_matrix();
         let m = h.num_rows();
-        h.syndrome_words_into(err_words, syn_words);
+        h.syndrome_words_into(err_words, &mut lanes.syn_words);
         if !flip_words.is_empty() {
             debug_assert_eq!(flip_words.len(), m, "one flip word per check");
-            for (s, &f) in syn_words.iter_mut().zip(flip_words) {
+            for (s, &f) in lanes.syn_words.iter_mut().zip(flip_words) {
                 *s ^= f;
             }
         }
-        corr_words.clear();
-        corr_words.resize(n, 0);
+        lanes.corr_words.clear();
+        lanes.corr_words.resize(n, 0);
         // Lanes with an all-zero syndrome decode to the zero correction for free.
-        let mut active: u64 = syn_words.iter().fold(0, |acc, &w| acc | w);
+        let mut active: u64 = lanes.syn_words.iter().fold(0, |acc, &w| acc | w);
         if active != 0 {
-            cache.ensure(ctx, m, n);
+            sector.cache.ensure(ctx, m, n);
+            // Measurement noise makes weight-1 syndromes the dominant non-trivial
+            // case; precompute their corrections once per context. (Uniform
+            // channels skip the table: weight-1 syndromes are rare there and the
+            // m warm-up decodes would not pay for themselves.)
+            if !flip_words.is_empty() {
+                self.ensure_weight1(decoder, uniform, ctx, lanes, sector);
+            }
             let syn_len = m.div_ceil(64).max(1);
             let corr_len = n.div_ceil(64).max(1);
             while active != 0 {
                 let k = active.trailing_zeros() as usize;
                 active &= active - 1;
                 let lane = 1u64 << k;
+                stats.active_lanes += 1;
                 // Unpack lane k's syndrome: bools for the decoder, packed words
-                // for the cache key.
-                syn_pack.clear();
-                syn_pack.resize(syn_len, 0);
-                syndrome.clear();
-                for (r, &w) in syn_words.iter().enumerate() {
+                // for the cache key, and its weight for the fast path.
+                lanes.syn_pack.clear();
+                lanes.syn_pack.resize(syn_len, 0);
+                lanes.syndrome.clear();
+                let mut weight = 0u32;
+                for (r, &w) in lanes.syn_words.iter().enumerate() {
                     let bit = (w >> k) & 1 == 1;
-                    syndrome.push(bit);
+                    lanes.syndrome.push(bit);
                     if bit {
-                        syn_pack[r >> 6] |= 1 << (r & 63);
+                        lanes.syn_pack[r >> 6] |= 1 << (r & 63);
+                        weight += 1;
                     }
                 }
+                // Weight-1 fast path: scatter the precomputed correction row —
+                // bit-identical to a live decode because the row *is* one.
+                if weight == 1 && sector.w1.built {
+                    let r = lanes
+                        .syndrome
+                        .iter()
+                        .position(|&b| b)
+                        .expect("weight-1 syndrome has a set bit");
+                    let row = &sector.w1.corr[r * sector.w1.corr_words..];
+                    for (wi, &w) in row[..sector.w1.corr_words].iter().enumerate() {
+                        let mut bits = w;
+                        while bits != 0 {
+                            let q = (wi << 6) + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            lanes.corr_words[q] |= lane;
+                        }
+                    }
+                    stats.weight1_hits += 1;
+                    continue;
+                }
                 let mut hit = false;
-                if let Some(stored) = cache.lookup(syn_pack) {
+                if let Some(stored) = sector.cache.lookup(&lanes.syn_pack) {
                     for (wi, &w) in stored.iter().enumerate() {
                         let mut bits = w;
                         while bits != 0 {
                             let q = (wi << 6) + bits.trailing_zeros() as usize;
                             bits &= bits - 1;
-                            corr_words[q] |= lane;
+                            lanes.corr_words[q] |= lane;
                         }
                     }
                     hit = true;
@@ -745,27 +924,72 @@ impl<'a> MemoryExperiment<'a> {
                 if hit {
                     continue;
                 }
-                self.decode_sector(decoder, uniform, syndrome, decode);
-                corr_pack.clear();
-                corr_pack.resize(corr_len, 0);
-                for (q, &e) in decode.error().iter().enumerate() {
+                let status =
+                    self.decode_sector(decoder, uniform, &lanes.syndrome, &mut sector.decode);
+                stats.decoded += 1;
+                if status.method == DecodeMethod::OrderedStatistics {
+                    stats.osd_fallbacks += 1;
+                }
+                lanes.corr_pack.clear();
+                lanes.corr_pack.resize(corr_len, 0);
+                for (q, &e) in sector.decode.error().iter().enumerate() {
                     if e {
-                        corr_pack[q >> 6] |= 1 << (q & 63);
-                        corr_words[q] |= lane;
+                        lanes.corr_pack[q >> 6] |= 1 << (q & 63);
+                        lanes.corr_words[q] |= lane;
                     }
                 }
-                cache.insert(syn_pack, corr_pack);
+                sector.cache.insert(&lanes.syn_pack, &lanes.corr_pack);
             }
         }
         let mut fail = 0u64;
         for support in logicals {
             let mut parity = 0u64;
             for &q in support {
-                parity ^= err_words[q] ^ corr_words[q];
+                parity ^= err_words[q] ^ lanes.corr_words[q];
             }
             fail |= parity;
         }
         fail
+    }
+
+    /// Builds (or rebinds) one sector's weight-1 correction table: for every
+    /// check `r`, run the real sector decode on the single-bit syndrome `e_r`
+    /// and pack the resulting correction. Runs once per decode context per
+    /// worker (outside the steady state: storage is sized here, and re-binding
+    /// to the same context is a tag compare).
+    fn ensure_weight1(
+        &self,
+        decoder: &BpOsdDecoder,
+        uniform: Option<f64>,
+        ctx: u64,
+        lanes: &mut LaneBuffers,
+        sector: &mut SectorBatch,
+    ) {
+        let m = decoder.check_matrix().num_rows();
+        let n = self.code.num_qubits();
+        let corr_len = n.div_ceil(64).max(1);
+        let w1 = &mut sector.w1;
+        if w1.built && w1.tag == ctx && w1.rows == m && w1.corr_words == corr_len {
+            return;
+        }
+        w1.tag = ctx;
+        w1.rows = m;
+        w1.corr_words = corr_len;
+        w1.corr.clear();
+        w1.corr.resize(m * corr_len, 0);
+        for r in 0..m {
+            lanes.syndrome.clear();
+            lanes.syndrome.resize(m, false);
+            lanes.syndrome[r] = true;
+            self.decode_sector(decoder, uniform, &lanes.syndrome, &mut sector.decode);
+            let row = &mut w1.corr[r * corr_len..(r + 1) * corr_len];
+            for (q, &e) in sector.decode.error().iter().enumerate() {
+                if e {
+                    row[q >> 6] |= 1 << (q & 63);
+                }
+            }
+        }
+        w1.built = true;
     }
 
     /// Runs the full Monte-Carlo experiment in parallel and returns the LER estimate.
@@ -791,6 +1015,9 @@ impl<'a> MemoryExperiment<'a> {
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut batch = BatchScratch::new();
+                    if let Some(dir) = &self.decode_cache_dir {
+                        self.load_decode_caches(dir, &mut batch);
+                    }
                     let mut local_failures = 0usize;
                     loop {
                         let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
@@ -801,6 +1028,11 @@ impl<'a> MemoryExperiment<'a> {
                         let count = 64.min(shots - start);
                         let mask = self.sample_batch_with(config, start, count, &mut batch);
                         local_failures += mask.count_ones() as usize;
+                    }
+                    if let Some(dir) = &self.decode_cache_dir {
+                        // Persistence is best-effort: a read-only directory must
+                        // not fail the estimate.
+                        let _ = self.store_decode_caches(dir, &batch);
                     }
                     failures.fetch_add(local_failures, Ordering::Relaxed);
                 });
@@ -847,8 +1079,12 @@ impl<'a> MemoryExperiment<'a> {
         let mut done = 0usize;
         let mut failures = 0usize;
         let mut scratch = BatchScratch::new();
+        if let Some(dir) = &self.decode_cache_dir {
+            self.load_decode_caches(dir, &mut scratch);
+        }
         let mut flags: Vec<AtomicBool> = Vec::new();
-        while done < max_shots {
+        let mut result = None;
+        'sampling: while done < max_shots {
             let n = batch.min(max_shots - done);
             batch = batch.saturating_mul(2).min(ADAPTIVE_BATCH_CAP);
             if workers == 1 {
@@ -865,7 +1101,8 @@ impl<'a> MemoryExperiment<'a> {
                             failures += 1;
                         }
                         if target.met_by(done + off + k + 1, failures) {
-                            return LerEstimate::from_counts(done + off + k + 1, failures);
+                            result = Some(LerEstimate::from_counts(done + off + k + 1, failures));
+                            break 'sampling;
                         }
                     }
                     off += c;
@@ -882,6 +1119,9 @@ impl<'a> MemoryExperiment<'a> {
                     for _ in 0..workers {
                         scope.spawn(|| {
                             let mut batch = BatchScratch::new();
+                            if let Some(dir) = &self.decode_cache_dir {
+                                self.load_decode_caches(dir, &mut batch);
+                            }
                             loop {
                                 let chunk = next.fetch_add(1, Ordering::Relaxed);
                                 if chunk >= chunks {
@@ -897,6 +1137,9 @@ impl<'a> MemoryExperiment<'a> {
                                     }
                                 }
                             }
+                            if let Some(dir) = &self.decode_cache_dir {
+                                let _ = self.store_decode_caches(dir, &batch);
+                            }
                         });
                     }
                 });
@@ -905,13 +1148,19 @@ impl<'a> MemoryExperiment<'a> {
                         failures += 1;
                     }
                     if target.met_by(done + k + 1, failures) {
-                        return LerEstimate::from_counts(done + k + 1, failures);
+                        result = Some(LerEstimate::from_counts(done + k + 1, failures));
+                        break 'sampling;
                     }
                 }
             }
             done += n;
         }
-        LerEstimate::from_counts(done, failures)
+        if let Some(dir) = &self.decode_cache_dir {
+            // Best-effort: the single-worker scratch accumulated this run's
+            // syndromes (multi-worker rounds stored theirs per worker above).
+            let _ = self.store_decode_caches(dir, &scratch);
+        }
+        result.unwrap_or_else(|| LerEstimate::from_counts(done, failures))
     }
 }
 
@@ -974,6 +1223,26 @@ pub fn estimate_points_adaptive(
     targets: &[Option<PrecisionTarget>],
     config: &MemoryConfig,
 ) -> Vec<LerEstimate> {
+    estimate_points_adaptive_in(points, targets, config, None)
+}
+
+/// [`estimate_points_adaptive`] with an optional persistent decode-cache
+/// directory: when `decode_cache_dir` is set, every point's experiment loads
+/// matching per-sector decode-cache files before sampling and stores them back
+/// after (see [`MemoryExperiment::set_decode_cache_dir`]), so sweep re-runs and
+/// refinement passes skip the compulsory-miss wall. Cache files never affect
+/// estimates — entries are exact decoder outputs keyed by the full decode
+/// context — so results remain bit-identical with or without the directory.
+///
+/// # Panics
+///
+/// Panics if `targets` is not exactly one entry per point.
+pub fn estimate_points_adaptive_in(
+    points: &[LerPoint<'_>],
+    targets: &[Option<PrecisionTarget>],
+    config: &MemoryConfig,
+    decode_cache_dir: Option<&Path>,
+) -> Vec<LerEstimate> {
     assert_eq!(
         points.len(),
         targets.len(),
@@ -1027,6 +1296,7 @@ pub fn estimate_points_adaptive(
                             &mut experiments.last_mut().expect("just pushed").1
                         }
                     };
+                    exp.set_decode_cache_dir(decode_cache_dir.map(Path::to_path_buf));
                     // A structured channel replaces the uniform one set_model just
                     // installed; uniform specs skip the rebuild and keep the
                     // historical fast path byte-for-byte.
@@ -1717,6 +1987,167 @@ mod tests {
                 mask
             );
         }
+    }
+
+    #[test]
+    fn weight1_fast_path_serves_measurement_flip_lanes() {
+        // Under measurement noise, single-flip syndromes dominate the active
+        // lanes; they must resolve through the weight-1 table, not BP/OSD, and
+        // stats must account for every active lane exactly once.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(3e-3), 0.0);
+        let exp = MemoryExperiment::with_channel(
+            &code,
+            model,
+            noise::ErrorChannel::biased(code.num_qubits(), code.num_stabilizers(), 3e-3, 6e-3),
+            20,
+        );
+        let cfg = MemoryConfig {
+            shots: 0,
+            bp_iterations: 20,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let mut batch = BatchScratch::new();
+        for chunk in 0..40 {
+            exp.sample_batch_with(&cfg, chunk * 64, 64, &mut batch);
+        }
+        let stats = batch.stats();
+        assert!(
+            stats.weight1_hits > 0,
+            "measurement flips must exercise the weight-1 fast path"
+        );
+        let (hits, _) = batch.cache_stats();
+        assert_eq!(
+            stats.active_lanes,
+            stats.weight1_hits + hits + stats.decoded,
+            "every active lane resolves exactly once: {stats:?} cache hits {hits}"
+        );
+        assert!(stats.osd_fallbacks <= stats.decoded);
+    }
+
+    #[test]
+    fn persisted_decode_caches_roundtrip_and_stay_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("memory-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(3e-3), 0.0);
+        let channel =
+            noise::ErrorChannel::biased(code.num_qubits(), code.num_stabilizers(), 3e-3, 6e-3);
+        let cfg = MemoryConfig {
+            shots: 400,
+            bp_iterations: 20,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+
+        let mut exp = MemoryExperiment::with_channel(&code, model, channel.clone(), 20);
+        let cold = exp.run(&cfg);
+
+        exp.set_decode_cache_dir(Some(dir.clone()));
+        let writing = exp.run(&cfg);
+        assert_eq!(
+            cold.failures, writing.failures,
+            "cache dir must not change results"
+        );
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("cache dir created")
+            .filter_map(|e| e.ok())
+            .collect();
+        assert!(!files.is_empty(), "run must persist sector cache files");
+
+        // A fresh experiment over the same context loads the persisted entries
+        // and reproduces the estimate bit-for-bit.
+        let mut warm_exp = MemoryExperiment::with_channel(&code, model, channel.clone(), 20);
+        let mut scratch = BatchScratch::new();
+        let loaded = warm_exp.load_decode_caches(&dir, &mut scratch);
+        assert!(
+            loaded > 0,
+            "persisted entries must load for the same context"
+        );
+        warm_exp.set_decode_cache_dir(Some(dir.clone()));
+        let warm = warm_exp.run(&cfg);
+        assert_eq!(cold.failures, warm.failures);
+        assert_eq!(cold.ler, warm.ler);
+
+        // Decoding depends on the data-rate priors, not the measurement rates:
+        // a channel differing only in measurement ratio shares the decode
+        // context and legitimately reuses the persisted entries...
+        let shared = MemoryExperiment::with_channel(
+            &code,
+            model,
+            noise::ErrorChannel::biased(code.num_qubits(), code.num_stabilizers(), 3e-3, 9e-3),
+            20,
+        );
+        let mut shared_scratch = BatchScratch::new();
+        assert!(shared.load_decode_caches(&dir, &mut shared_scratch) > 0);
+        // ...while different data rates bind a different context: nothing
+        // loads, nothing breaks.
+        let other = MemoryExperiment::with_channel(
+            &code,
+            model,
+            noise::ErrorChannel::biased(code.num_qubits(), code.num_stabilizers(), 4e-3, 6e-3),
+            20,
+        );
+        let mut other_scratch = BatchScratch::new();
+        assert_eq!(other.load_decode_caches(&dir, &mut other_scratch), 0);
+
+        // Adaptive runs accept the directory too and stay bit-identical.
+        let target = PrecisionTarget::new(0.3, 1, 400);
+        let plain = MemoryExperiment::with_channel(&code, model, channel.clone(), 20)
+            .run_adaptive(&cfg, &target);
+        let mut adaptive_exp = MemoryExperiment::with_channel(&code, model, channel, 20);
+        adaptive_exp.set_decode_cache_dir(Some(dir.clone()));
+        let adaptive = adaptive_exp.run_adaptive(&cfg, &target);
+        assert_eq!(plain.failures, adaptive.failures);
+        assert_eq!(plain.shots, adaptive.shots);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn estimate_points_adaptive_in_matches_without_cache_dir() {
+        let dir = std::env::temp_dir().join(format!("points-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let code = bb_72_12_6().expect("valid");
+        let spec = ChannelSpec::Biased { meas_ratio: 2.0 };
+        let points = [
+            LerPoint {
+                code: &code,
+                p: 4e-3,
+                latency: 0.0,
+                channel: Some(&spec),
+            },
+            LerPoint {
+                code: &code,
+                p: 4e-3,
+                latency: 0.0,
+                channel: None,
+            },
+        ];
+        let targets = [None, None];
+        let cfg = MemoryConfig {
+            shots: 200,
+            bp_iterations: 20,
+            threads: 2,
+            seed: 0xC1C1_0DE5,
+        };
+        let plain = estimate_points_adaptive(&points, &targets, &cfg);
+        let writing = estimate_points_adaptive_in(&points, &targets, &cfg, Some(dir.as_path()));
+        let warm = estimate_points_adaptive_in(&points, &targets, &cfg, Some(dir.as_path()));
+        for (a, b) in plain.iter().zip(&writing) {
+            assert_eq!(a.failures, b.failures);
+        }
+        for (a, b) in plain.iter().zip(&warm) {
+            assert_eq!(a.failures, b.failures);
+        }
+        assert!(
+            std::fs::read_dir(&dir)
+                .map(|d| d.count() > 0)
+                .unwrap_or(false),
+            "point pool must persist decode caches"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub struct DecoderScratch {
     pub(crate) llrs: Vec<f64>,
     /// Hard-decision error estimate; also receives the OSD solution.
     pub(crate) error: Vec<bool>,
+    /// Word-packed copy of `error` maintained by the BP variable pass, consumed
+    /// by the mask-based convergence check (bit `c & 63` of word `c >> 6`).
+    pub(crate) err_words: Vec<u64>,
     // Ordered statistics -----------------------------------------------------
     /// Per-variable suspicion scores handed from BP to OSD.
     pub(crate) suspicion: Vec<f64>,

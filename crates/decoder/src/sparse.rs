@@ -212,6 +212,13 @@ impl TannerGraph {
     pub fn var_edges(&self, c: usize) -> &[usize] {
         &self.col_edges[self.col_ptr[c]..self.col_ptr[c + 1]]
     }
+
+    /// Every edge's variable, indexed by edge id (the flat CSR column array —
+    /// `edge_vars()[e] == var_of(e)` without the per-call indexing).
+    #[inline]
+    pub fn edge_vars(&self) -> &[usize] {
+        &self.col_of_edge
+    }
 }
 
 #[cfg(test)]

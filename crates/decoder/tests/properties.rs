@@ -4,6 +4,7 @@
 use decoder::bp::BeliefPropagation;
 use decoder::bposd::{BpOsdDecoder, DecodeMethod};
 use decoder::memory::{BatchScratch, MemoryConfig, MemoryExperiment, ShotScratch};
+use decoder::osd::OsdDecoder;
 use decoder::scratch::DecoderScratch;
 use decoder::sparse::SparseBinMat;
 use noise::{ErrorChannel, HardwareNoiseModel, NoiseParameters};
@@ -206,6 +207,67 @@ proptest! {
                     );
                 }
                 start += count;
+            }
+        }
+    }
+
+    #[test]
+    fn warm_started_osd_is_bit_identical_to_cold_osd(
+        seed in 0u64..40,
+        p in 0.005f64..0.05,
+        code_pick in 0usize..3,
+        channel_pick in 0usize..3,
+        bp_iterations in 2usize..8,
+    ) {
+        // The warm-started OSD (column-permutation reuse + early-exit
+        // elimination) must produce exactly the cold path's output on the
+        // suspicion vectors real BP failures produce — across the code catalog
+        // and channel shapes, with one dirty scratch carried across shots and
+        // sectors the way the Monte-Carlo fallback reuses it. Measurement flips
+        // inject syndromes the error alone would not produce, including ones
+        // outside the column space (the inconsistent branch).
+        let code = match code_pick {
+            0 => qec::codes::bb_72_12_6().expect("valid"),
+            1 => qec::codes::hgp_100().expect("valid"),
+            _ => qec::codes::bb_90_8_10().expect("valid"),
+        };
+        let model = HardwareNoiseModel::new(NoiseParameters::new(p), 2e-3);
+        let n = code.num_qubits();
+        let p_eff = model.effective_error_rate();
+        let meas_rate = match channel_pick {
+            0 => 0.0,
+            1 => (2.0 * p_eff).min(0.75),
+            _ => (8.0 * p_eff).min(0.75),
+        };
+        let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5 ^ seed);
+        let mut bp_scratch = DecoderScratch::new();
+        let mut warm = DecoderScratch::new();
+        for _shot in 0..6 {
+            let error: Vec<bool> = (0..n).map(|_| rng.gen_bool(p_eff)).collect();
+            for (h, mut syndrome) in [
+                (code.hz(), code.z_syndrome(&error)),
+                (code.hx(), code.x_syndrome(&error)),
+            ] {
+                if meas_rate > 0.0 {
+                    for bit in syndrome.iter_mut() {
+                        if rng.gen_bool(meas_rate) {
+                            *bit = !*bit;
+                        }
+                    }
+                }
+                // Produce the suspicion vector the real fallback would see: the
+                // negated BP posterior LLRs left in the scratch by a full decode.
+                let dec = BpOsdDecoder::new(h, bp_iterations);
+                dec.decode_into(&syndrome, p_eff.clamp(1e-9, 0.45), &mut bp_scratch);
+                let suspicion: Vec<f64> = bp_scratch.llrs().iter().map(|&l| -l).collect();
+                let osd = OsdDecoder::new(h.clone());
+                let mut cold = DecoderScratch::new();
+                let ok_cold = osd.decode_into_cold(&syndrome, &suspicion, &mut cold);
+                let ok_warm = osd.decode_into(&syndrome, &suspicion, &mut warm);
+                prop_assert_eq!(ok_warm, ok_cold, "consistency verdict diverged");
+                if ok_cold {
+                    prop_assert_eq!(warm.error(), cold.error());
+                }
             }
         }
     }
