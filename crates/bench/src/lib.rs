@@ -31,6 +31,18 @@
 //!   scalar model), `biased:<ratio>` (measurement flips at `<ratio>` times the
 //!   data rate on every sweep point), or `schedule` (per-qubit channels from
 //!   compiled idle exposure, resolved by figures that compile profiled rounds).
+//! * `CYCLONE_SHARDS` — worker-process count for distributed sweeps (default 1 =
+//!   in-process only). At `N >= 2` the figure binary becomes a coordinator: it
+//!   spawns `N` copies of itself, one per shard, merges their shard-local caches,
+//!   and assembles the final output from cache hits — bit-identical to a serial
+//!   run at any `N`.
+//! * `CYCLONE_SHARD` — `i/N` worker identity (normally set by the coordinator,
+//!   not by hand): compute only the points hashing to shard `i` and write them to
+//!   a shard-local cache under `<cache-dir>/shards/<i>-of-<N>/`.
+//! * `CYCLONE_CHECKPOINT_EVERY` — rewrite the cache after every `K` computed
+//!   points (default: 1 for workers, one final write otherwise; `0` explicitly
+//!   requests the single final write). A killed worker resumes from its last
+//!   checkpoint and loses only in-flight points.
 
 pub mod runner;
 

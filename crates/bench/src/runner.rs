@@ -25,6 +25,22 @@
 //!   unset = in-memory only). Estimates are bit-identical either way — entries
 //!   are pure decoder outputs — so this is purely a warm-start lever.
 //!
+//! Distributed (multi-process) sweeps:
+//!
+//! * `--shards N` — coordinator mode (`CYCLONE_SHARDS`): before the figure
+//!   builds, self-exec N worker processes, each computing the deterministic
+//!   subset of points its shard owns into a shard-local cache
+//!   (`<cache>/shards/<i>-of-<N>/`), then merge the shard caches into the main
+//!   cache. The figure's own sweep then runs serially over all-cache-hits, so
+//!   output is bit-identical to an unsharded run. Requires caching (`--no-cache`
+//!   disables the fleet).
+//! * `--shard i/N` — worker mode (`CYCLONE_SHARD`): compute only the points
+//!   shard `i` of `N` owns, into the shard-local cache, checkpointing after
+//!   every computed point so a killed worker loses at most the in-flight point.
+//!   The main cache is consulted read-only for pre-existing hits.
+//! * `--checkpoint-every K` — override the checkpoint cadence
+//!   (`CYCLONE_CHECKPOINT_EVERY`; worker default 1, `0` = single final write).
+//!
 //! Adaptive (precision-targeted) sampling:
 //!
 //! * `--target-rse X` — stop each LER point at relative standard error ≤ X
@@ -54,12 +70,13 @@
 //! corresponding environment variables for the run.
 
 use crate::Table;
-use cyclone::sweep::SweepOptions;
+use cyclone::sweep::{Shard, SweepOptions};
+use cyclone::sweep_cache::{merge_files, MergeReport};
 use decoder::memory::{MemoryConfig, PrecisionTarget};
 use noise::ChannelSpec;
 use serde_json::Value;
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Default relative-standard-error target of adaptive runs (`rse ≈ 1/√failures`,
 /// so this pairs naturally with [`DEFAULT_MIN_FAILURES`]).
@@ -125,6 +142,14 @@ pub struct RunContext {
     /// already threaded into [`RunContext::sweep`]; `Schedule` is advisory — a
     /// figure that compiles profiled rounds resolves it per point.
     pub noise: NoiseFlag,
+    /// Requested worker-process count (`--shards` / `CYCLONE_SHARDS`, default 1).
+    /// `>= 2` without a shard assignment makes this process a fleet coordinator
+    /// (see [`RunContext::run_worker_fleet`]).
+    pub shards: usize,
+    /// This process's shard assignment (`--shard i/N` / `CYCLONE_SHARD`).
+    /// `Some` makes this a worker: [`RunContext::sweep`] is already pointed at
+    /// the shard-local cache with the main cache as read-only fallback.
+    pub shard: Option<Shard>,
 }
 
 impl RunContext {
@@ -164,6 +189,17 @@ impl RunContext {
             .as_deref()
             .and_then(NoiseFlag::parse)
             .unwrap_or(NoiseFlag::Uniform);
+        let mut shards = env("CYCLONE_SHARDS")
+            .as_deref()
+            .and_then(parse_cap)
+            .unwrap_or(1);
+        let mut shard = env("CYCLONE_SHARD").as_deref().and_then(Shard::parse);
+        // `Some(0)` is an explicit single-final-write request; `None` defers to
+        // the mode default (workers checkpoint after every point).
+        let parse_every = |s: &str| s.trim().parse::<usize>().ok();
+        let mut checkpoint: Option<usize> = env("CYCLONE_CHECKPOINT_EVERY")
+            .as_deref()
+            .and_then(parse_every);
 
         let mut i = 0;
         while i < args.len() {
@@ -215,6 +251,24 @@ impl RunContext {
                     }
                 }
                 "--fixed" => fixed = true,
+                "--shards" => {
+                    if let Some(value) = args.get(i + 1) {
+                        shards = parse_cap(value).unwrap_or(shards);
+                        i += 1;
+                    }
+                }
+                "--shard" => {
+                    if let Some(value) = args.get(i + 1) {
+                        shard = Shard::parse(value).or(shard);
+                        i += 1;
+                    }
+                }
+                "--checkpoint-every" => {
+                    if let Some(value) = args.get(i + 1) {
+                        checkpoint = parse_every(value).or(checkpoint);
+                        i += 1;
+                    }
+                }
                 "--noise" => {
                     if let Some(value) = args.get(i + 1) {
                         // A malformed value keeps whatever the environment
@@ -252,7 +306,13 @@ impl RunContext {
         let mut sweep = if no_cache {
             SweepOptions::ephemeral(config)
         } else {
-            SweepOptions::cached(config, cache_dir)
+            // Workers write a shard-local cache (the main cache stays a
+            // read-only fallback), so N processes never race on one file.
+            let dir = match shard {
+                Some(shard) => shard_cache_dir(&cache_dir, shard),
+                None => cache_dir.clone(),
+            };
+            SweepOptions::cached(config, dir)
         };
         if let Some(target) = precision {
             sweep = sweep.with_precision(target);
@@ -261,20 +321,102 @@ impl RunContext {
             sweep = sweep.with_channel(ChannelSpec::Biased { meas_ratio: ratio });
         }
         if let Some(dir) = decode_cache_dir {
+            // One decode-cache directory for the whole fleet: its atomic-rename
+            // save path is multi-process safe, and sharing lets workers warm
+            // each other's structured-channel caches.
             sweep = sweep.with_decode_cache_dir(dir);
         }
+        if let Some(shard) = shard {
+            sweep = sweep.with_shard(shard);
+            if !no_cache {
+                sweep = sweep.with_fallback_cache_dir(cache_dir);
+            }
+        }
+        sweep = sweep.with_checkpoint(checkpoint.unwrap_or(usize::from(shard.is_some())));
         RunContext {
             config,
             sweep,
             csv,
             full,
             noise,
+            shards,
+            shard,
         }
     }
 
-    /// The cache directory, when caching is enabled.
+    /// The cache directory, when caching is enabled. For a worker this is the
+    /// shard-local directory; [`RunContext::main_cache_dir`] is the merged view.
     pub fn cache_dir(&self) -> Option<&std::path::Path> {
         self.sweep.cache_dir.as_deref()
+    }
+
+    /// The fleet-wide cache directory: the fallback for a worker (its
+    /// `cache_dir` is shard-local), the cache dir itself otherwise.
+    pub fn main_cache_dir(&self) -> Option<&std::path::Path> {
+        self.sweep
+            .fallback_cache_dir
+            .as_deref()
+            .or_else(|| self.cache_dir())
+    }
+
+    /// Coordinator step: when `--shards N` (N ≥ 2) was requested, caching is on,
+    /// and this process has no shard assignment of its own, self-exec one worker
+    /// per shard (same binary, same flags, plus `--shard i/N`), wait for all of
+    /// them, and merge their shard-local caches into the main cache directory.
+    /// Everything else — including workers, `--no-cache` runs, and plain serial
+    /// runs — is a no-op.
+    ///
+    /// A failed or killed worker is reported but does not abort the run: its
+    /// checkpointed points still merge, and the caller's own serial sweep
+    /// recomputes whatever is missing. Output therefore stays bit-identical to
+    /// an unsharded run no matter how the fleet died.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the fleet cannot be launched at all (the
+    /// executable path is unknown or the first spawn fails).
+    pub fn run_worker_fleet(&self) -> std::io::Result<Vec<(String, MergeReport)>> {
+        if self.shards < 2 || self.shard.is_some() {
+            return Ok(Vec::new());
+        }
+        let Some(main_dir) = self.cache_dir().map(Path::to_path_buf) else {
+            eprintln!("warning: --shards needs the sweep cache; running serially (--no-cache)");
+            return Ok(Vec::new());
+        };
+        let exe = std::env::current_exe()?;
+        let forwarded = forwardable_args(std::env::args().skip(1));
+        let mut children = Vec::new();
+        for index in 0..self.shards {
+            let shard = Shard::new(index, self.shards);
+            let spawned = std::process::Command::new(&exe)
+                .args(&forwarded)
+                .arg("--shard")
+                .arg(shard.to_string())
+                .env_remove("CYCLONE_SHARDS")
+                .env_remove("CYCLONE_SHARD")
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn();
+            match spawned {
+                Ok(child) => children.push((shard, child)),
+                Err(err) if children.is_empty() => return Err(err),
+                Err(err) => eprintln!("warning: could not spawn shard {shard} worker: {err}"),
+            }
+        }
+        for (shard, child) in children {
+            match child.wait_with_output() {
+                Ok(output) if output.status.success() => {}
+                Ok(output) => {
+                    eprintln!(
+                        "warning: shard {shard} worker exited with {}",
+                        output.status
+                    );
+                    eprint!("{}", String::from_utf8_lossy(&output.stderr));
+                }
+                Err(err) => eprintln!("warning: could not wait for shard {shard} worker: {err}"),
+            }
+        }
+        merge_shard_caches(&main_dir)
     }
 
     /// Re-exports the resolved values into the environment so the env-reading
@@ -294,6 +436,78 @@ impl RunContext {
 /// The default cache directory: `sweeps/` at the repository root.
 pub fn default_sweep_dir() -> PathBuf {
     PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../sweeps"))
+}
+
+/// The shard-local cache directory of one worker: `<root>/shards/<i>-of-<N>`.
+pub fn shard_cache_dir(root: &Path, shard: Shard) -> PathBuf {
+    root.join("shards")
+        .join(format!("{}-of-{}", shard.index, shard.total))
+}
+
+/// The coordinator's argument list for its workers: its own arguments minus any
+/// `--shards`/`--shard` (the coordinator appends the worker's own `--shard`).
+fn forwardable_args(args: impl Iterator<Item = String>) -> Vec<String> {
+    let mut forwarded = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg == "--shards" || arg == "--shard" {
+            skip_value = true;
+            continue;
+        }
+        forwarded.push(arg);
+    }
+    forwarded
+}
+
+/// Folds every shard-local cache under `<main_dir>/shards/*/` back into the
+/// main cache directory: files are grouped by name (`<figure>.json`; rendered
+/// `*.table.json` artifacts and stray temp files are ignored) and merged with
+/// [`merge_files`], so corrupt or incompatible shard files are skipped and
+/// reported rather than aborting. Caches left by a *different* shard layout
+/// merge just as well — the deterministic partition makes any union valid.
+///
+/// # Errors
+///
+/// Returns an error when the shard directories cannot be enumerated; per-file
+/// merge failures are reported to stderr and skipped.
+pub fn merge_shard_caches(main_dir: &Path) -> std::io::Result<Vec<(String, MergeReport)>> {
+    let shard_root = main_dir.join("shards");
+    let mut by_name: BTreeMap<String, Vec<PathBuf>> = BTreeMap::new();
+    let Ok(shard_dirs) = std::fs::read_dir(&shard_root) else {
+        return Ok(Vec::new()); // no shards directory: nothing to merge
+    };
+    for shard_dir in shard_dirs.flatten() {
+        let dir = shard_dir.path();
+        if !dir.is_dir() {
+            continue;
+        }
+        for file in std::fs::read_dir(&dir)?.flatten() {
+            let path = file.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".json") && !name.ends_with(".table.json") && !name.starts_with('.') {
+                by_name.entry(name.to_string()).or_default().push(path);
+            }
+        }
+    }
+    let mut reports = Vec::new();
+    for (name, sources) in by_name {
+        match merge_files(&main_dir.join(&name), &sources) {
+            Ok(report) => {
+                for (path, reason) in &report.sources_skipped {
+                    eprintln!("warning: merge skipped {}: {reason}", path.display());
+                }
+                reports.push((name, report));
+            }
+            Err(err) => eprintln!("warning: could not merge shard caches for {name}: {err}"),
+        }
+    }
+    Ok(reports)
 }
 
 /// A figure's printable result: the table plus optional trailing note lines
@@ -332,8 +546,25 @@ pub fn figure<R: Into<FigureReport>>(
 ) {
     let context = RunContext::from_env();
     context.export_env();
+    // Coordinator mode: fan the figure's points out across worker processes
+    // first, so the build below runs all-cache-hits over the merged result —
+    // bit-identical to a serial run, just computed by N cores.
+    match context.run_worker_fleet() {
+        Ok(merged) => {
+            for (file, report) in &merged {
+                println!(
+                    "(sharded: merged {} across {} shard cache(s) into {file})",
+                    report.entries_total, report.sources_merged
+                );
+            }
+        }
+        Err(err) => eprintln!("warning: worker fleet failed ({err}); computing serially"),
+    }
     let report: FigureReport = build(&context).into();
     report.table.print(title);
+    if let Some(shard) = context.shard {
+        println!("(worker shard {shard}: skipped points belong to other shards)");
+    }
     if let Some(target) = &context.sweep.precision {
         println!(
             "(adaptive sampling: target rse {}, >={} failures, <={} shots/point)",
@@ -579,6 +810,77 @@ mod tests {
         // Malformed values keep the earlier resolution.
         let ctx = RunContext::from_args(&args(&["--noise", "biased:3", "--noise", "bogus"]));
         assert_eq!(ctx.noise, NoiseFlag::Biased(3.0));
+    }
+
+    #[test]
+    fn shard_flags_resolve_worker_and_coordinator_modes() {
+        // Default: one shard, no assignment, single final cache write.
+        let ctx = RunContext::from_args(&args(&["--shots", "100"]));
+        assert_eq!(ctx.shards, 1);
+        assert!(ctx.shard.is_none());
+        assert!(ctx.sweep.shard.is_none());
+        assert_eq!(ctx.sweep.checkpoint, 0);
+
+        // Coordinator: --shards alone never shards the local sweep (the fleet
+        // does the sharded work; this process runs the all-hits serial pass).
+        let ctx = RunContext::from_args(&args(&["--shards", "4"]));
+        assert_eq!(ctx.shards, 4);
+        assert!(ctx.shard.is_none());
+        assert!(ctx.sweep.shard.is_none());
+
+        // Worker: shard-local cache under the main dir, main dir as read-only
+        // fallback, checkpoint after every point.
+        let ctx = RunContext::from_args(&args(&[
+            "--cache-dir",
+            "/tmp/sweep-shard-test",
+            "--shard",
+            "2/4",
+        ]));
+        assert_eq!(ctx.shard, Some(Shard::new(2, 4)));
+        assert_eq!(ctx.sweep.shard, Some(Shard::new(2, 4)));
+        assert_eq!(
+            ctx.cache_dir(),
+            Some(Path::new("/tmp/sweep-shard-test/shards/2-of-4"))
+        );
+        assert_eq!(
+            ctx.sweep.fallback_cache_dir.as_deref(),
+            Some(Path::new("/tmp/sweep-shard-test"))
+        );
+        assert_eq!(
+            ctx.main_cache_dir(),
+            Some(Path::new("/tmp/sweep-shard-test"))
+        );
+        assert_eq!(ctx.sweep.checkpoint, 1);
+
+        // Explicit cadence override, and the 0 = single-final-write spelling.
+        let ctx = RunContext::from_args(&args(&["--shard", "0/2", "--checkpoint-every", "5"]));
+        assert_eq!(ctx.sweep.checkpoint, 5);
+        let ctx = RunContext::from_args(&args(&["--shard", "0/2", "--checkpoint-every", "0"]));
+        assert_eq!(ctx.sweep.checkpoint, 0);
+
+        // Malformed values keep earlier resolutions (the workspace convention).
+        let ctx = RunContext::from_args(&args(&["--shard", "4/4"]));
+        assert!(ctx.shard.is_none(), "out-of-range shard is malformed");
+        let ctx = RunContext::from_args(&args(&["--shards", "0"]));
+        assert_eq!(ctx.shards, 1);
+
+        // --no-cache disables the sharded cache plumbing but keeps the shard
+        // restriction itself.
+        let ctx = RunContext::from_args(&args(&["--no-cache", "--shard", "1/3"]));
+        assert!(ctx.cache_dir().is_none());
+        assert!(ctx.sweep.fallback_cache_dir.is_none());
+        assert_eq!(ctx.sweep.shard, Some(Shard::new(1, 3)));
+    }
+
+    #[test]
+    fn forwardable_args_strip_fleet_topology() {
+        let forwarded = forwardable_args(
+            args(&[
+                "--shots", "50", "--shards", "4", "--noise", "biased:2", "--shard", "1/4",
+            ])
+            .into_iter(),
+        );
+        assert_eq!(forwarded, args(&["--shots", "50", "--noise", "biased:2"]));
     }
 
     #[test]

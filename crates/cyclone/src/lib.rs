@@ -14,7 +14,10 @@
 //! * [`split_loops`] — the independent-loop analysis of §IV-C.
 //! * [`registry`] — [`qccd::compiler::Codesign`] impls for Cyclone and the standard
 //!   registry of every codesign the evaluation compares.
-//! * [`sweep`] — the parallel, cache-backed scenario sweep engine.
+//! * [`sweep`] — the parallel, cache-backed scenario sweep engine, with
+//!   deterministic work-sharding for multi-process fleets.
+//! * [`sweep_cache`] — offline merge/stats/verify over sweep cache files (also
+//!   exposed as the `sweep-cache` CLI), so shard-local caches compose.
 //! * [`experiments`] — declarative scenario specs that regenerate every figure of
 //!   the evaluation through the sweep engine.
 //!
@@ -42,8 +45,9 @@ pub mod experiments;
 pub mod registry;
 pub mod split_loops;
 pub mod sweep;
+pub mod sweep_cache;
 
 pub use codesign::{CycloneCodesign, CycloneConfig};
 pub use condensed::{best_configuration, default_trap_counts, trap_capacity_sweep, TrapSweepPoint};
 pub use registry::{standard_registry, Cyclone};
-pub use sweep::{run_sweep, ScenarioSpec, SweepOptions, SweepResult};
+pub use sweep::{run_sweep, shard_of, ScenarioSpec, Shard, SweepOptions, SweepResult};

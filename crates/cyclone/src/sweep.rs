@@ -41,7 +41,72 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// files stay readable unmigrated: entries carry per-point `shots`/`failures`
 /// already, and a missing `channel` field reads back as `"uniform"` — exactly
 /// the channel every pre-schema-3 point was sampled under.
-const CACHE_SCHEMA: u64 = 3;
+pub(crate) const CACHE_SCHEMA: u64 = 3;
+
+/// A deterministic work-shard assignment: of `total` cooperating processes, this
+/// one computes only the operating points whose stable identity hashes to
+/// `index` (see [`shard_of`]). Because the assignment depends only on the
+/// point's id string — never on spec order, shard count of a previous run, or
+/// the host — any shard layout partitions a spec into disjoint, collectively
+/// exhaustive subsets, and every point's estimate is the same bit-for-bit no
+/// matter which shard (or how many shards) computed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This process's shard index, `0 <= index < total`.
+    pub index: usize,
+    /// Total number of shards in the fleet (at least 1).
+    pub total: usize,
+}
+
+impl Shard {
+    /// A shard assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < total`.
+    pub fn new(index: usize, total: usize) -> Self {
+        assert!(index < total, "shard index {index} out of range 0..{total}");
+        Shard { index, total }
+    }
+
+    /// Parses the `--shard` spelling `"i/N"` (e.g. `"2/4"`); `None` when
+    /// malformed or out of range (`i >= N` or `N == 0`).
+    pub fn parse(raw: &str) -> Option<Self> {
+        let (index, total) = raw.trim().split_once('/')?;
+        let index = index.trim().parse::<usize>().ok()?;
+        let total = total.trim().parse::<usize>().ok()?;
+        (index < total).then_some(Shard { index, total })
+    }
+
+    /// Whether the point with this stable id belongs to this shard.
+    pub fn contains(&self, id: &str) -> bool {
+        shard_of(id, self.total) == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+/// The shard that owns the point with stable id `id` in a `total`-shard layout:
+/// an FNV-1a digest of the id bytes reduced mod `total`. Stable across
+/// processes, platforms, and releases — the partition is part of the sharding
+/// contract, so shard-local caches from different fleet layouts stay mergeable.
+///
+/// # Panics
+///
+/// Panics when `total` is zero.
+pub fn shard_of(id: &str, total: usize) -> usize {
+    assert!(total > 0, "shard layouts need at least one shard");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in id.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % total as u64) as usize
+}
 
 /// One Monte-Carlo operating point of a scenario sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -187,6 +252,22 @@ pub struct SweepOptions {
     /// in-memory only. Estimates are bit-identical either way: cached entries are
     /// pure decoder outputs.
     pub decode_cache_dir: Option<PathBuf>,
+    /// Work-shard assignment: `Some` restricts computation to the spec points
+    /// this shard owns (see [`Shard::contains`]). Points owned by other shards
+    /// are still served from the cache when present; otherwise they come back as
+    /// [`PointOutcome::skipped`] with an empty estimate. `None` (the default)
+    /// computes every miss.
+    pub shard: Option<Shard>,
+    /// Checkpoint granularity: with `checkpoint = k > 0` the cache file is
+    /// rewritten after every `k` freshly computed points, so a killed run loses
+    /// at most the in-flight group. `0` (the default) keeps the single
+    /// final write. Checkpointing never changes estimates — only how often the
+    /// same entries are published.
+    pub checkpoint: usize,
+    /// Read-only secondary cache directory, consulted for points the primary
+    /// `cache_dir` misses. Never written. Lets a shard-local worker reuse a
+    /// pre-existing main cache without racing other workers on it.
+    pub fallback_cache_dir: Option<PathBuf>,
 }
 
 impl SweepOptions {
@@ -199,6 +280,9 @@ impl SweepOptions {
             precision: None,
             channel: None,
             decode_cache_dir: None,
+            shard: None,
+            checkpoint: 0,
+            fallback_cache_dir: None,
         }
     }
 
@@ -210,6 +294,9 @@ impl SweepOptions {
             precision: None,
             channel: None,
             decode_cache_dir: None,
+            shard: None,
+            checkpoint: 0,
+            fallback_cache_dir: None,
         }
     }
 
@@ -232,6 +319,27 @@ impl SweepOptions {
     /// decoder outputs, so estimates stay bit-identical.
     pub fn with_decode_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.decode_cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Restricts computation to the points `shard` owns (builder style). Points
+    /// owned by other shards are cache-hits-or-skipped, never computed.
+    pub fn with_shard(mut self, shard: Shard) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Rewrites the cache file after every `every` freshly computed points
+    /// (builder style); `0` restores the single final write.
+    pub fn with_checkpoint(mut self, every: usize) -> Self {
+        self.checkpoint = every;
+        self
+    }
+
+    /// Consults `dir` (read-only) for points the primary cache misses
+    /// (builder style).
+    pub fn with_fallback_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.fallback_cache_dir = Some(dir.into());
         self
     }
 
@@ -267,6 +375,10 @@ pub struct PointOutcome {
     pub ler: LerEstimate,
     /// Whether the estimate was served from the cache.
     pub cached: bool,
+    /// Whether the point was skipped: it belongs to another shard and had no
+    /// cached estimate. Skipped points carry [`LerEstimate::empty`] and are
+    /// never written to the cache.
+    pub skipped: bool,
 }
 
 /// The result of one sweep, points in spec order.
@@ -280,6 +392,9 @@ pub struct SweepResult {
     pub cache_hits: usize,
     /// How many points were recomputed.
     pub computed: usize,
+    /// How many points were skipped as another shard's work (always 0 for
+    /// unsharded runs).
+    pub skipped: usize,
 }
 
 impl SweepResult {
@@ -323,86 +438,126 @@ pub fn run_sweep(spec: &ScenarioSpec, options: &SweepOptions) -> SweepResult {
         );
     }
 
-    let cache_path = options
-        .cache_dir
-        .as_ref()
-        .map(|dir| dir.join(format!("{}.json", spec.figure)));
-    let cached = cache_path
+    let file_name = format!("{}.json", spec.figure);
+    let cache_path = options.cache_dir.as_ref().map(|dir| dir.join(&file_name));
+    let mut cached = cache_path
         .as_deref()
         .map(|path| load_cache(path, spec, options))
         .unwrap_or_default();
-
-    // Estimate the misses across the shared pool, then stitch hits and misses back
-    // into spec order.
-    let misses: Vec<usize> = (0..spec.points.len())
-        .filter(|i| !cached.contains_key(&spec.points[*i].id))
-        .collect();
-    let jobs: Vec<LerPoint<'_>> = misses
-        .iter()
-        .map(|&i| {
-            let point = &spec.points[i];
-            LerPoint {
-                code: &spec.codes[point.code],
-                p: point.p,
-                latency: point.latency,
-                channel: options.channel_for(point),
-            }
-        })
-        .collect();
-    let targets: Vec<Option<PrecisionTarget>> = misses
-        .iter()
-        .map(|&i| options.target_for(&spec.points[i]))
-        .collect();
-    let fresh = estimate_points_adaptive_in(
-        &jobs,
-        &targets,
-        &options.config,
-        options.decode_cache_dir.as_deref(),
-    );
-
-    let mut fresh_by_index: BTreeMap<usize, LerEstimate> = BTreeMap::new();
-    for (&i, est) in misses.iter().zip(fresh) {
-        fresh_by_index.insert(i, est);
+    // The fallback directory (worker mode's read-only view of the main cache) is
+    // consulted only for points the primary cache misses.
+    if let Some(dir) = &options.fallback_cache_dir {
+        for (id, ler) in load_cache(&dir.join(&file_name), spec, options) {
+            cached.entry(id).or_insert(ler);
+        }
     }
-    let points: Vec<PointOutcome> = spec
-        .points
-        .iter()
-        .enumerate()
-        .map(|(i, point)| match cached.get(&point.id) {
-            Some(&ler) => PointOutcome {
-                id: point.id.clone(),
-                p: point.p,
-                latency: point.latency,
-                ler,
-                cached: true,
-            },
-            None => PointOutcome {
-                id: point.id.clone(),
-                p: point.p,
-                latency: point.latency,
-                ler: fresh_by_index[&i],
-                cached: false,
-            },
+
+    // `resolved`: spec index → (estimate, served-from-cache). Points absent from
+    // the map at the end were skipped (another shard's uncached work).
+    let mut resolved: BTreeMap<usize, (LerEstimate, bool)> = BTreeMap::new();
+    for (i, point) in spec.points.iter().enumerate() {
+        if let Some(&ler) = cached.get(&point.id) {
+            resolved.insert(i, (ler, true));
+        }
+    }
+
+    // Estimate the misses this shard owns across the shared pool, in
+    // checkpoint-sized groups so a killed run loses at most the in-flight group,
+    // then stitch hits and misses back into spec order.
+    let misses: Vec<usize> = (0..spec.points.len())
+        .filter(|i| !resolved.contains_key(i))
+        .filter(|&i| match options.shard {
+            Some(shard) => shard.contains(&spec.points[i].id),
+            None => true,
         })
         .collect();
-
-    let cache_hits = points.iter().filter(|p| p.cached).count();
-    let result = SweepResult {
-        figure: spec.figure.clone(),
-        computed: points.len() - cache_hits,
-        cache_hits,
-        points,
+    let group_len = match options.checkpoint {
+        0 => misses.len().max(1),
+        every => every,
     };
+    for group in misses.chunks(group_len) {
+        let jobs: Vec<LerPoint<'_>> = group
+            .iter()
+            .map(|&i| {
+                let point = &spec.points[i];
+                LerPoint {
+                    code: &spec.codes[point.code],
+                    p: point.p,
+                    latency: point.latency,
+                    channel: options.channel_for(point),
+                }
+            })
+            .collect();
+        let targets: Vec<Option<PrecisionTarget>> = group
+            .iter()
+            .map(|&i| options.target_for(&spec.points[i]))
+            .collect();
+        let fresh = estimate_points_adaptive_in(
+            &jobs,
+            &targets,
+            &options.config,
+            options.decode_cache_dir.as_deref(),
+        );
+        for (&i, est) in group.iter().zip(fresh) {
+            resolved.insert(i, (est, false));
+        }
+        // Checkpoint: publish everything resolved so far. The final store below
+        // covers the last group (and the no-miss case), so mid-run writes are
+        // purely about bounding loss on a kill.
+        if options.checkpoint != 0 && group.len() == group_len {
+            if let Some(path) = cache_path.as_deref() {
+                if let Err(err) = store_cache(path, spec, options, &resolved) {
+                    eprintln!(
+                        "warning: could not checkpoint sweep cache {}: {err}",
+                        path.display()
+                    );
+                }
+            }
+        }
+    }
 
     if let Some(path) = cache_path.as_deref() {
-        if let Err(err) = store_cache(path, spec, options, &result) {
+        if let Err(err) = store_cache(path, spec, options, &resolved) {
             eprintln!(
                 "warning: could not write sweep cache {}: {err}",
                 path.display()
             );
         }
     }
-    result
+
+    let points: Vec<PointOutcome> = spec
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, point)| match resolved.get(&i) {
+            Some(&(ler, cached)) => PointOutcome {
+                id: point.id.clone(),
+                p: point.p,
+                latency: point.latency,
+                ler,
+                cached,
+                skipped: false,
+            },
+            None => PointOutcome {
+                id: point.id.clone(),
+                p: point.p,
+                latency: point.latency,
+                ler: LerEstimate::empty(),
+                cached: false,
+                skipped: true,
+            },
+        })
+        .collect();
+
+    let cache_hits = points.iter().filter(|p| p.cached).count();
+    let skipped = points.iter().filter(|p| p.skipped).count();
+    SweepResult {
+        figure: spec.figure.clone(),
+        computed: points.len() - cache_hits - skipped,
+        cache_hits,
+        skipped,
+        points,
+    }
 }
 
 /// Loads reusable per-point estimates from a cache file. Any structural problem —
@@ -489,13 +644,17 @@ fn load_cache(
     reusable
 }
 
-/// Serializes a sweep result (plus the configuration that produced it) as the
-/// figure's cache file, atomically.
+/// Serializes the resolved entries of a sweep (plus the configuration that
+/// produced them) as the figure's cache file, atomically. `resolved` maps spec
+/// index → (estimate, served-from-cache); entries land in spec order, and
+/// zero-shot placeholders are never written (readers skip them anyway), so a
+/// partial (checkpoint or sharded) write is a well-formed cache that composes
+/// with other shards' files via [`crate::sweep_cache::merge_files`].
 fn store_cache(
     path: &Path,
     spec: &ScenarioSpec,
     options: &SweepOptions,
-    result: &SweepResult,
+    resolved: &BTreeMap<usize, (LerEstimate, bool)>,
 ) -> std::io::Result<()> {
     let config = &options.config;
     let mut root = BTreeMap::new();
@@ -520,25 +679,25 @@ fn store_cache(
         root.insert("min_failures".to_string(), Value::from(target.min_failures));
         root.insert("max_shots".to_string(), Value::from(target.max_shots));
     }
-    let entries: Vec<Value> = result
-        .points
+    let entries: Vec<Value> = resolved
         .iter()
-        .zip(&spec.points)
-        .map(|(point, spec_point)| {
+        .filter(|(_, (ler, _))| ler.shots > 0)
+        .map(|(&i, (ler, _))| {
+            let spec_point = &spec.points[i];
             let mut entry = BTreeMap::new();
-            entry.insert("id".to_string(), Value::from(point.id.clone()));
-            entry.insert("p".to_string(), Value::Number(point.p));
-            entry.insert("latency".to_string(), Value::Number(point.latency));
+            entry.insert("id".to_string(), Value::from(spec_point.id.clone()));
+            entry.insert("p".to_string(), Value::Number(spec_point.p));
+            entry.insert("latency".to_string(), Value::Number(spec_point.latency));
             entry.insert(
                 "channel".to_string(),
                 Value::from(options.channel_id_for(spec_point)),
             );
             // `shots` records what was actually spent on the point (which varies
             // per point under adaptive sampling), never the configured budget.
-            entry.insert("shots".to_string(), Value::from(point.ler.shots));
-            entry.insert("failures".to_string(), Value::from(point.ler.failures));
-            entry.insert("ler".to_string(), Value::Number(point.ler.ler));
-            entry.insert("std_err".to_string(), Value::Number(point.ler.std_err));
+            entry.insert("shots".to_string(), Value::from(ler.shots));
+            entry.insert("failures".to_string(), Value::from(ler.failures));
+            entry.insert("ler".to_string(), Value::Number(ler.ler));
+            entry.insert("std_err".to_string(), Value::Number(ler.std_err));
             Value::Object(entry)
         })
         .collect();
@@ -554,7 +713,7 @@ fn store_cache(
 /// worst a stray temp file; concurrent writers sharing one cache directory each
 /// publish a complete file, and readers only ever observe one of the complete
 /// versions — never a torn mix.
-fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
+pub(crate) fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
     static TEMP_NONCE: AtomicU64 = AtomicU64::new(0);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(parent) = dir {

@@ -1,0 +1,286 @@
+//! Distributed-sweep invariants: deterministic shard partitioning, shard-cache
+//! merging back to the bit-identical single-process result (any layout,
+//! including empty shards), merge commutativity/idempotence on real caches,
+//! corrupt-shard fallback, resume-after-kill, and the read-only main-cache
+//! fallback workers use.
+
+use cyclone::sweep::{run_sweep, shard_of, ScenarioSpec, Shard, SweepOptions};
+use cyclone::sweep_cache::{merge_files, verify_file};
+use decoder::memory::MemoryConfig;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn quick_config(threads: usize) -> MemoryConfig {
+    MemoryConfig {
+        shots: 60,
+        bp_iterations: 12,
+        threads,
+        seed: 0xC1C1_0DE5,
+    }
+}
+
+fn tiny_spec(figure: &str) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(figure);
+    let bb = spec.code(qec::codes::bb_72_12_6().expect("valid"));
+    let hgp = spec.code(qec::codes::hgp_100().expect("valid"));
+    spec.point("bb/p=3e-3", bb, 3e-3, 0.01);
+    spec.point("bb/p=8e-3", bb, 8e-3, 0.01);
+    spec.point("hgp/p=3e-3", hgp, 3e-3, 0.02);
+    spec.point("hgp/p=8e-3", hgp, 8e-3, 0.0);
+    spec
+}
+
+/// A unique scratch directory per test, cleaned up on entry (no timestamps: the
+/// test name keys it, the process id separates concurrent suite runs).
+fn scratch_dir(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cyclone-sharded-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shard_dir(root: &Path, shard: Shard) -> PathBuf {
+    root.join("shards")
+        .join(format!("{}-of-{}", shard.index, shard.total))
+}
+
+/// Runs every shard of an N-way layout (each into its own shard-local cache),
+/// merges the shard caches into `<root>/<figure>.json`, and returns the number
+/// of points each shard computed.
+fn run_fleet(spec: &ScenarioSpec, root: &Path, total: usize, threads: usize) -> Vec<usize> {
+    let mut computed = Vec::new();
+    let mut sources = Vec::new();
+    for index in 0..total {
+        let shard = Shard::new(index, total);
+        let dir = shard_dir(root, shard);
+        let options = SweepOptions::cached(quick_config(threads), &dir)
+            .with_shard(shard)
+            .with_checkpoint(1)
+            .with_fallback_cache_dir(root);
+        let result = run_sweep(spec, &options);
+        assert_eq!(
+            result.computed + result.cache_hits + result.skipped,
+            spec.points.len()
+        );
+        computed.push(result.computed);
+        sources.push(dir.join(format!("{}.json", spec.figure)));
+    }
+    merge_files(&root.join(format!("{}.json", spec.figure)), &sources).expect("merge shards");
+    computed
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8).with_seed(0xC1C1_0DE5))]
+
+    /// Any shard layout — including N larger than the point count, which leaves
+    /// some shards empty — partitions the spec (each point computed exactly
+    /// once) and merges back to estimates bit-identical to the single-process
+    /// run, served entirely from the merged cache.
+    #[test]
+    fn any_shard_layout_merges_to_the_single_process_result(layout in 0usize..4, threads in 1usize..3) {
+        let total = [1, 2, 3, 7][layout];
+        let figure = format!("layout-{total}-{threads}");
+        let spec = tiny_spec(&figure);
+        let reference = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(1)));
+
+        let root = scratch_dir(&figure);
+        let computed = run_fleet(&spec, &root, total, threads);
+        prop_assert_eq!(computed.iter().sum::<usize>(), spec.points.len());
+        for point in &spec.points {
+            let owner = shard_of(&point.id, total);
+            prop_assert!(owner < total);
+        }
+
+        let merged = run_sweep(&spec, &SweepOptions::cached(quick_config(1), &root));
+        prop_assert_eq!(merged.cache_hits, spec.points.len(), "merged cache must serve every point");
+        prop_assert_eq!(merged.computed, 0);
+        for (a, b) in reference.points.iter().zip(&merged.points) {
+            prop_assert_eq!(&a.id, &b.id);
+            prop_assert_eq!(a.ler.shots, b.ler.shots, "point {} diverged", a.id);
+            prop_assert_eq!(a.ler.failures, b.ler.failures);
+            prop_assert_eq!(a.ler.ler, b.ler.ler);
+            prop_assert_eq!(a.ler.std_err, b.ler.std_err);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn merge_of_real_shard_caches_is_commutative_and_idempotent() {
+    let spec = tiny_spec("commute");
+    let root = scratch_dir("commute");
+    run_fleet(&spec, &root, 3, 2);
+    let sources: Vec<PathBuf> = (0..3)
+        .map(|i| shard_dir(&root, Shard::new(i, 3)).join("commute.json"))
+        .collect();
+
+    let forward = root.join("forward.json");
+    let reverse = root.join("reverse.json");
+    merge_files(&forward, &sources).expect("forward merge");
+    let mut reversed = sources.clone();
+    reversed.reverse();
+    merge_files(&reverse, &reversed).expect("reverse merge");
+    let forward_text = std::fs::read_to_string(&forward).expect("read");
+    assert_eq!(
+        forward_text,
+        std::fs::read_to_string(&reverse).expect("read"),
+        "merge order must not matter"
+    );
+    // Merging the same sources into an existing destination changes nothing.
+    merge_files(&forward, &sources).expect("re-merge");
+    assert_eq!(
+        forward_text,
+        std::fs::read_to_string(&forward).expect("read")
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_shard_file_is_skipped_and_recomputed() {
+    let spec = tiny_spec("corrupt-shard");
+    let reference = run_sweep(&spec, &SweepOptions::ephemeral(quick_config(1)));
+    let root = scratch_dir("corrupt-shard");
+    run_fleet(&spec, &root, 3, 2);
+
+    // Corrupt one shard's cache, then rebuild the merged file from scratch: the
+    // merge must skip (and report) the bad shard, not fail, and the final
+    // cached run recomputes exactly the lost points back to the reference.
+    let bad = shard_dir(&root, Shard::new(1, 3)).join("corrupt-shard.json");
+    std::fs::write(&bad, "{\"figure\": \"corrupt-shard\", \"poi").expect("corrupt");
+    let merged_path = root.join("corrupt-shard.json");
+    std::fs::remove_file(&merged_path).expect("drop merged file");
+    let sources: Vec<PathBuf> = (0..3)
+        .map(|i| shard_dir(&root, Shard::new(i, 3)).join("corrupt-shard.json"))
+        .collect();
+    let report = merge_files(&merged_path, &sources).expect("merge with corruption");
+    assert_eq!(report.sources_merged, 2);
+    assert_eq!(report.sources_skipped.len(), 1);
+    assert_eq!(report.sources_skipped[0].0, bad);
+
+    let lost = spec
+        .points
+        .iter()
+        .filter(|p| shard_of(&p.id, 3) == 1)
+        .count();
+    let repaired = run_sweep(&spec, &SweepOptions::cached(quick_config(2), &root));
+    assert_eq!(
+        repaired.computed, lost,
+        "only the corrupt shard's points recompute"
+    );
+    assert_eq!(repaired.cache_hits, spec.points.len() - lost);
+    for (a, b) in reference.points.iter().zip(&repaired.points) {
+        assert_eq!(a.ler.failures, b.ler.failures, "point {} diverged", a.id);
+        assert_eq!(a.ler.ler, b.ler.ler);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn killed_worker_resumes_from_its_checkpoints() {
+    let figure = "resume";
+    let full = tiny_spec(figure);
+    let reference = run_sweep(&full, &SweepOptions::ephemeral(quick_config(1)));
+    let root = scratch_dir(figure);
+    let shard = Shard::new(0, 1); // one shard owns everything: every point checkpoints
+    let dir = shard_dir(&root, shard);
+
+    // A "killed" worker: same figure, but only a prefix of the points ran before
+    // the kill. Checkpointing after every point means the prefix is already
+    // published as a valid cache file.
+    let mut prefix = ScenarioSpec::new(figure);
+    let bb = prefix.code(qec::codes::bb_72_12_6().expect("valid"));
+    prefix.point("bb/p=3e-3", bb, 3e-3, 0.01);
+    prefix.point("bb/p=8e-3", bb, 8e-3, 0.01);
+    let options = SweepOptions::cached(quick_config(2), &dir)
+        .with_shard(shard)
+        .with_checkpoint(1)
+        .with_fallback_cache_dir(&root);
+    let partial = run_sweep(&prefix, &options);
+    assert_eq!(partial.computed, 2);
+    let shard_file = dir.join(format!("{figure}.json"));
+    verify_file(&shard_file).expect("checkpointed shard cache must be valid mid-run");
+
+    // The resumed worker reruns the full spec: checkpointed points are cache
+    // hits (nothing lost), only the in-flight remainder computes.
+    let resumed = run_sweep(&full, &options);
+    assert_eq!(
+        resumed.cache_hits, 2,
+        "checkpointed points must survive the kill"
+    );
+    assert_eq!(resumed.computed, full.points.len() - 2);
+
+    merge_files(&root.join(format!("{figure}.json")), &[shard_file]).expect("merge");
+    let merged = run_sweep(&full, &SweepOptions::cached(quick_config(1), &root));
+    assert_eq!(merged.cache_hits, full.points.len());
+    for (a, b) in reference.points.iter().zip(&merged.points) {
+        assert_eq!(a.ler.failures, b.ler.failures, "point {} diverged", a.id);
+        assert_eq!(a.ler.ler, b.ler.ler);
+        assert_eq!(a.ler.std_err, b.ler.std_err);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn workers_reuse_the_main_cache_read_only() {
+    let spec = tiny_spec("fallback");
+    let root = scratch_dir("fallback");
+    // A pre-existing serial run fills the main cache.
+    let serial = run_sweep(&spec, &SweepOptions::cached(quick_config(2), &root));
+    assert_eq!(serial.computed, spec.points.len());
+    let main_file = root.join("fallback.json");
+    let main_before = std::fs::read_to_string(&main_file).expect("read main cache");
+
+    // Every worker of a 2-way fleet then sees all of its points as fallback
+    // hits: nothing recomputes, and the main cache file is never touched.
+    for index in 0..2 {
+        let shard = Shard::new(index, 2);
+        let options = SweepOptions::cached(quick_config(2), shard_dir(&root, shard))
+            .with_shard(shard)
+            .with_checkpoint(1)
+            .with_fallback_cache_dir(&root);
+        let result = run_sweep(&spec, &options);
+        assert_eq!(result.computed, 0, "fallback must serve shard {index}");
+        assert_eq!(result.cache_hits, spec.points.len());
+    }
+    assert_eq!(
+        main_before,
+        std::fs::read_to_string(&main_file).expect("read main cache"),
+        "workers must never write the main cache"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn skipped_points_are_marked_and_kept_out_of_the_cache() {
+    let spec = tiny_spec("skipped");
+    let root = scratch_dir("skipped");
+    let shard = Shard::new(0, 7); // 7 shards over 4 points: this one owns a strict subset
+    let owned = spec.points.iter().filter(|p| shard.contains(&p.id)).count();
+    let options = SweepOptions::cached(quick_config(2), shard_dir(&root, shard))
+        .with_shard(shard)
+        .with_fallback_cache_dir(&root);
+    let result = run_sweep(&spec, &options);
+    assert_eq!(result.computed, owned);
+    assert_eq!(result.skipped, spec.points.len() - owned);
+    for point in &result.points {
+        if point.skipped {
+            assert_eq!(
+                point.ler.shots, 0,
+                "skipped points carry the empty estimate"
+            );
+            assert!(!point.cached);
+        }
+    }
+    // The shard cache holds exactly the owned points — skipped placeholders
+    // must not pollute it.
+    let text =
+        std::fs::read_to_string(shard_dir(&root, shard).join("skipped.json")).expect("shard cache");
+    for point in &spec.points {
+        assert_eq!(
+            text.contains(&format!("\"{}\"", point.id)),
+            shard.contains(&point.id),
+            "cache membership of {} must follow ownership",
+            point.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1011,12 +1011,46 @@ impl<'a> MemoryExperiment<'a> {
         let chunks = shots.div_ceil(64);
         let failures = AtomicUsize::new(0);
         let next_chunk = AtomicUsize::new(0);
+        // Warm-up: on structured channels, pre-seed the decode caches by
+        // sampling a short shot prefix once on a single scratch, so the
+        // compulsory misses of the hottest syndromes (and the weight-1 table
+        // builds) are paid once instead of once per worker — every worker then
+        // starts from a *clone* of the warm scratch. Masks are discarded and
+        // the workers re-sample the prefix from the same per-shot RNG streams,
+        // so failure counting and bit-identity are untouched: cache entries are
+        // pure decoder outputs. Skipped for uniform channels (no decode cache
+        // on that path) and for runs too small to amortize the replay.
+        let warm = (self.channel.has_measurement_noise()
+            && shots > DECODE_WARMUP_SHOTS
+            && (workers > 1 || self.decode_cache_dir.is_some()))
+        .then(|| {
+            let mut batch = BatchScratch::new();
+            if let Some(dir) = &self.decode_cache_dir {
+                self.load_decode_caches(dir, &mut batch);
+            }
+            let mut start = 0;
+            while start < DECODE_WARMUP_SHOTS {
+                let count = 64.min(DECODE_WARMUP_SHOTS - start);
+                let _ = self.sample_batch_with(config, start, count, &mut batch);
+                start += count;
+            }
+            if let Some(dir) = &self.decode_cache_dir {
+                // Best-effort, like the per-worker store below.
+                let _ = self.store_decode_caches(dir, &batch);
+            }
+            batch
+        });
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
-                    let mut batch = BatchScratch::new();
-                    if let Some(dir) = &self.decode_cache_dir {
-                        self.load_decode_caches(dir, &mut batch);
+                    let mut batch = match &warm {
+                        Some(warm) => warm.clone(),
+                        None => BatchScratch::new(),
+                    };
+                    if warm.is_none() {
+                        if let Some(dir) = &self.decode_cache_dir {
+                            self.load_decode_caches(dir, &mut batch);
+                        }
                     }
                     let mut local_failures = 0usize;
                     loop {
@@ -1163,6 +1197,15 @@ impl<'a> MemoryExperiment<'a> {
         result.unwrap_or_else(|| LerEstimate::from_counts(done, failures))
     }
 }
+
+/// Shot-prefix length of the structured-channel decode-cache warm-up in
+/// [`MemoryExperiment::run`]: three 64-shot batches, enough to populate the
+/// caches with the hottest low-weight syndromes (and build the weight-1 tables)
+/// before the worker pool fans out, small enough that replaying the prefix is
+/// noise. Warm-up never affects results — cache entries are pure decoder
+/// outputs and the workers re-sample the prefix from the same per-shot RNG
+/// streams.
+pub const DECODE_WARMUP_SHOTS: usize = 192;
 
 /// Default initial execution batch size of [`MemoryExperiment::run_adaptive`]:
 /// large enough to amortize thread handoffs, small enough that a high-failure point
@@ -1826,6 +1869,44 @@ mod tests {
         let single = exp.run(&base);
         let four = exp.run(&MemoryConfig { threads: 4, ..base });
         assert_eq!(single, four);
+    }
+
+    #[test]
+    fn decode_warmup_preserves_bit_identity() {
+        // The structured-channel warm-up prefix (DECODE_WARMUP_SHOTS sampled once
+        // before the pool fans out) must never change the estimate: it only
+        // pre-seeds caches, and the workers re-sample the prefix from the same
+        // per-shot streams. shots > DECODE_WARMUP_SHOTS so the warm-up actually
+        // engages on the multi-worker and cache-dir paths.
+        let code = bb_72_12_6().expect("valid");
+        let model = HardwareNoiseModel::new(NoiseParameters::new(5e-3), 0.0);
+        let base = MemoryConfig {
+            shots: DECODE_WARMUP_SHOTS + 120,
+            bp_iterations: 15,
+            threads: 1,
+            seed: 0xC1C1_0DE5,
+        };
+        let channel =
+            noise::ErrorChannel::biased(code.num_qubits(), code.num_stabilizers(), 5e-3, 0.5);
+        let mut exp = MemoryExperiment::with_channel(&code, model, channel, base.bp_iterations);
+        // threads 1 without a cache dir skips the warm-up entirely: the
+        // unwarmed reference.
+        let reference = exp.run(&base);
+        // Multi-worker path: warm-up runs, workers clone the warm scratch.
+        assert_eq!(exp.run(&MemoryConfig { threads: 4, ..base }), reference);
+        // Cache-dir path: warm-up runs and persists, cold and warm alike.
+        let dir =
+            std::env::temp_dir().join(format!("cyclone-warmup-identity-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exp.set_decode_cache_dir(Some(dir.clone()));
+        assert_eq!(exp.run(&base), reference, "cold persistent caches");
+        assert_eq!(exp.run(&base), reference, "warm persistent caches");
+        assert_eq!(
+            exp.run(&MemoryConfig { threads: 4, ..base }),
+            reference,
+            "warm caches across a worker pool"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
