@@ -49,7 +49,11 @@ pub fn loop_decomposition(code: &CssCode) -> Vec<Vec<StabRef>> {
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<StabRef>> = Default::default();
+    // BTreeMap, not HashMap: the stable length sort below leaves equal-length
+    // groups in map-iteration order, so a hash map would leak its randomized
+    // order into the result (the PR 3 bug class `cyclone-lint` now flags).
+    // Root order is deterministic, making ties resolve to ascending root.
+    let mut groups: std::collections::BTreeMap<usize, Vec<StabRef>> = Default::default();
     for (i, s) in stabs.iter().enumerate() {
         let root = find(&mut parent, i);
         groups.entry(root).or_default().push(StabRef {

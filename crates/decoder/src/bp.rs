@@ -246,6 +246,7 @@ impl BeliefPropagation {
     /// * the convergence check ANDs the precomputed word-packed row masks against
     ///   a packed hard-decision vector maintained by the variable pass — pure
     ///   boolean parity, order-insensitive by commutativity of XOR.
+    // cyclone-lint: hot-path
     fn propagate(&self, syndrome: &[bool], scratch: &mut DecoderScratch) -> BpStatus {
         let m = self.h.num_rows();
         let n = self.h.num_cols();
@@ -288,6 +289,7 @@ impl BeliefPropagation {
             // Check-node update (min-sum with sign handling and syndrome parity).
             for (r, &syn) in syndrome.iter().enumerate() {
                 let range = graph.check_edges(r);
+                // cyclone-lint: allow(hot-path-alloc) -- Range<usize>::clone is a stack copy, no heap allocation
                 let msgs = &var_to_check[range.clone()];
                 let mut neg = u64::from(syn);
                 let mut min1 = f64::INFINITY;
@@ -367,6 +369,7 @@ impl BeliefPropagation {
             iterations: self.max_iterations,
         }
     }
+    // cyclone-lint: end-hot-path
 }
 
 #[cfg(test)]

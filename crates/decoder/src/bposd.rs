@@ -145,6 +145,7 @@ impl BpOsdDecoder {
 
     /// Shared tail of the `decode_into` variants: accept a converged BP answer or
     /// run the ordered-statistics fallback on the BP soft output.
+    // cyclone-lint: hot-path
     fn finish_decode(
         &self,
         syndrome: &[bool],
@@ -169,6 +170,7 @@ impl BpOsdDecoder {
             iterations: bp_status.iterations,
         }
     }
+    // cyclone-lint: end-hot-path
 }
 
 #[cfg(test)]

@@ -206,6 +206,7 @@ impl DecodeCache {
     /// # Panics
     ///
     /// Panics (debug) if `syn` does not match the bound context's word count.
+    // cyclone-lint: hot-path
     pub fn lookup(&mut self, syn: &[u64]) -> Option<&[u64]> {
         debug_assert_eq!(syn.len(), self.syn_words);
         let set = self.set_of(syn);
@@ -259,6 +260,7 @@ impl DecodeCache {
         self.syn[slot * self.syn_words..(slot + 1) * self.syn_words].copy_from_slice(syn);
         self.corr[slot * self.corr_words..(slot + 1) * self.corr_words].copy_from_slice(corr);
     }
+    // cyclone-lint: end-hot-path
 
     /// Lookup hits since the cache was last (re)bound.
     pub fn hits(&self) -> u64 {
@@ -334,10 +336,14 @@ impl DecodeCache {
             .file_name()
             .and_then(|n| n.to_str())
             .unwrap_or("decode-cache.json");
-        let nonce = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.subsec_nanos())
-            .unwrap_or(0);
+        // The nonce only has to be unique among concurrent writers of one
+        // path: pid distinguishes processes, a process-wide counter
+        // distinguishes threads. (A wall-clock nonce would work too, but this
+        // module is decode-hot-path territory where `cyclone-lint` bans
+        // `SystemTime` outright — save paths included, so the ban stays a
+        // simple module-wide invariant.)
+        static SAVE_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let nonce = SAVE_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let tmp = dir.join(format!(".{name}.tmp.{}.{nonce}", std::process::id()));
         std::fs::write(&tmp, text)?;
         match std::fs::rename(&tmp, path) {
@@ -609,6 +615,36 @@ mod tests {
         assert_eq!(fresh.load_from(&path), 0);
         fresh.insert(&[9, 9], &[9, 9, 9]);
         assert_eq!(fresh.lookup(&[9, 9]), Some(&[9u64, 9, 9][..]));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_saves_leave_no_temp_files() {
+        // The atomic-publish temp names come from a pid + process-wide counter
+        // (not wall-clock), so back-to-back saves must produce distinct temp
+        // files, publish cleanly, and leave nothing behind in the directory.
+        let dir = std::env::temp_dir().join(format!("decode-cache-tmp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        let mut cache = DecodeCache::with_slots(64);
+        cache.ensure(7, 72, 144);
+        for i in 0..4u64 {
+            cache.insert(&[i, i + 1], &[i, i, i]);
+            cache.save_to(&path).unwrap();
+        }
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "cache.json")
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+
+        let mut back = DecodeCache::with_slots(64);
+        back.ensure(7, 72, 144);
+        assert_eq!(back.load_from(&path), 4);
 
         std::fs::remove_dir_all(&dir).ok();
     }

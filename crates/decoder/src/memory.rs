@@ -619,6 +619,7 @@ impl<'a> MemoryExperiment<'a> {
     /// samples each data qubit at its own rate, flips extracted syndrome bits at
     /// the channel's measurement rates, and decodes with matching per-bit priors
     /// via `decode_with_priors_into`.
+    // cyclone-lint: hot-path
     pub fn sample_one_with<R: Rng>(&self, rng: &mut R, scratch: &mut ShotScratch) -> bool {
         let n = self.code.num_qubits();
         let uniform = self.channel.uniform_rate();
@@ -951,6 +952,7 @@ impl<'a> MemoryExperiment<'a> {
         }
         fail
     }
+    // cyclone-lint: end-hot-path
 
     /// Builds (or rebinds) one sector's weight-1 correction table: for every
     /// check `r`, run the real sector decode on the single-bit syndrome `e_r`
@@ -1371,6 +1373,7 @@ pub fn estimate_points_adaptive_in(
         .collect()
 }
 
+// cyclone-lint: hot-path
 /// XORs two equal-length slices into a reused output buffer.
 fn xor_into(a: &[bool], b: &[bool], out: &mut Vec<bool>) {
     debug_assert_eq!(a.len(), b.len());
@@ -1426,6 +1429,7 @@ fn flip_syndrome<R: Rng>(rng: &mut R, syndrome: &mut [bool], rates: &[f64]) {
         }
     }
 }
+// cyclone-lint: end-hot-path
 
 /// Convenience: estimate the LER of `code` for a round that takes `latency` seconds at
 /// physical error rate `p`.

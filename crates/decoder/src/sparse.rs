@@ -87,6 +87,7 @@ impl SparseBinMat {
     /// # Panics
     ///
     /// Panics if `error.len() != num_cols`.
+    // cyclone-lint: hot-path
     pub fn syndrome_into(&self, error: &[bool], out: &mut Vec<bool>) {
         assert_eq!(error.len(), self.num_cols, "error length mismatch");
         out.clear();
@@ -96,6 +97,7 @@ impl SparseBinMat {
                 .map(|row| row.iter().fold(false, |acc, &c| acc ^ error[c])),
         );
     }
+    // cyclone-lint: end-hot-path
 
     /// Returns a dense copy.
     pub fn to_bitmat(&self) -> BitMat {
@@ -111,6 +113,7 @@ impl SparseBinMat {
     /// # Panics
     ///
     /// Panics if `err_words.len() != num_cols`.
+    // cyclone-lint: hot-path
     pub fn syndrome_words_into(&self, err_words: &[u64], out: &mut Vec<u64>) {
         assert_eq!(err_words.len(), self.num_cols, "error length mismatch");
         out.clear();
@@ -120,6 +123,7 @@ impl SparseBinMat {
                 .map(|row| row.iter().fold(0u64, |acc, &c| acc ^ err_words[c])),
         );
     }
+    // cyclone-lint: end-hot-path
 }
 
 /// A flattened (CSR-style) Tanner graph derived from a [`SparseBinMat`].

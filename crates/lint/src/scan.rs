@@ -1,0 +1,383 @@
+//! Lexical layer of `cyclone-lint`: a hand-rolled scanner that splits Rust
+//! source into per-line code text, comment text, and string-literal contents,
+//! plus a flat identifier/punctuation token stream over the code text.
+//!
+//! The scanner understands exactly as much Rust as the rules need: line and
+//! (nested) block comments, ordinary/byte/raw string literals, char literals,
+//! and lifetimes (so `'a` is not mistaken for an unterminated char). It does
+//! not parse — rules work on tokens and line classifications, which keeps the
+//! linter dependency-free and fast, at the cost of being a *textual* analysis:
+//! suppressions exist precisely because a textual rule can be wrong about
+//! intent (see `// cyclone-lint: allow(...)` in [`Directive`]).
+
+/// One physical source line, split into its lexical constituents.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code text with comments removed and every string/char literal replaced
+    /// by an empty literal (`""`), so token scans never see literal contents.
+    pub code: String,
+    /// Concatenated comment text of the line (line, block, and doc comments).
+    pub comment: String,
+    /// Contents of string literals that *start* on this line.
+    pub strings: Vec<String>,
+}
+
+/// Splits `source` into [`Line`]s. Never fails: unterminated constructs simply
+/// run to end of file, which is what rustc would reject anyway.
+pub fn split_lines(source: &str) -> Vec<Line> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str { raw_hashes: Option<u32> },
+        Char,
+    }
+    let mut lines = Vec::new();
+    let mut line = Line::default();
+    let mut state = State::Code;
+    let mut chars = source.chars().peekable();
+    let mut current_string = String::new();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            if let State::Str { .. } = state {
+                current_string.push('\n');
+            }
+            lines.push(std::mem::take(&mut line));
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    state = State::LineComment;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    state = State::BlockComment(1);
+                }
+                '"' => {
+                    line.code.push_str("\"\"");
+                    current_string.clear();
+                    state = State::Str { raw_hashes: None };
+                }
+                'r' | 'b' if matches!(chars.peek(), Some('"' | '#' | 'r')) => {
+                    // Possible raw/byte string prefix: consume `r`, `b"`, `br`,
+                    // `r#...#"`. Fall back to plain code chars when it is not
+                    // actually a string start (e.g. `b # x` cannot occur; an
+                    // identifier ending in r/b followed by " is not valid Rust).
+                    let mut prefix = String::new();
+                    prefix.push(c);
+                    if c == 'b' && chars.peek() == Some(&'r') {
+                        prefix.push('r');
+                        chars.next();
+                    }
+                    let mut hashes = 0u32;
+                    while chars.peek() == Some(&'#') {
+                        hashes += 1;
+                        chars.next();
+                    }
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        line.code.push_str("\"\"");
+                        current_string.clear();
+                        state = State::Str {
+                            raw_hashes: Some(hashes),
+                        };
+                    } else {
+                        line.code.push_str(&prefix);
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                    }
+                }
+                '\'' => {
+                    // Distinguish char literals from lifetimes: a lifetime is
+                    // `'` + ident-start not followed by a closing quote.
+                    let mut ahead = chars.clone();
+                    let first = ahead.next();
+                    let second = ahead.next();
+                    let is_lifetime = matches!(first, Some(f) if f.is_alphabetic() || f == '_')
+                        && second != Some('\'');
+                    if is_lifetime {
+                        line.code.push('\'');
+                    } else {
+                        line.code.push_str("\"\"");
+                        state = State::Char;
+                    }
+                }
+                _ => line.code.push(c),
+            },
+            State::LineComment => line.comment.push(c),
+            State::BlockComment(depth) => match c {
+                '*' if chars.peek() == Some(&'/') => {
+                    chars.next();
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    state = State::BlockComment(depth + 1);
+                }
+                _ => line.comment.push(c),
+            },
+            State::Str { raw_hashes: None } => match c {
+                '\\' => {
+                    current_string.push(c);
+                    if let Some(&esc) = chars.peek() {
+                        current_string.push(esc);
+                        chars.next();
+                        // A `\`-newline continuation still ends a physical
+                        // line; swallowing it here would shift every later
+                        // line number in the file.
+                        if esc == '\n' {
+                            lines.push(std::mem::take(&mut line));
+                        }
+                    }
+                }
+                '"' => {
+                    line.strings.push(std::mem::take(&mut current_string));
+                    state = State::Code;
+                }
+                _ => current_string.push(c),
+            },
+            State::Str {
+                raw_hashes: Some(h),
+            } => {
+                if c == '"' {
+                    let mut ahead = chars.clone();
+                    let mut seen = 0u32;
+                    while seen < h && ahead.peek() == Some(&'#') {
+                        ahead.next();
+                        seen += 1;
+                    }
+                    if seen == h {
+                        for _ in 0..h {
+                            chars.next();
+                        }
+                        line.strings.push(std::mem::take(&mut current_string));
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                current_string.push(c);
+            }
+            State::Char => match c {
+                // Skip the escaped char — but never a newline: it must flow
+                // through the top-of-loop line handling to keep line numbers
+                // aligned.
+                '\\' if chars.peek() != Some(&'\n') => {
+                    chars.next();
+                }
+                '\'' => state = State::Code,
+                _ => {}
+            },
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() || !line.strings.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// A `// cyclone-lint: ...` comment directive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Directive {
+    /// `allow(<rule>[, <rule>...]) -- <reason>`: suppress the named rules on
+    /// this line and the next code line. The reason is mandatory.
+    Allow { rules: Vec<String>, reason: String },
+    /// `hot-path`: opens a no-allocation region.
+    HotPath,
+    /// `end-hot-path`: closes the region opened by the last `hot-path`.
+    EndHotPath,
+}
+
+/// The marker every directive comment must contain.
+pub const MARKER: &str = "cyclone-lint:";
+
+/// Parses the directive in a comment, if any. Returns `Some(Err(reason))` for
+/// a comment that names the marker but does not parse — malformed directives
+/// are findings, never silently ignored (a typo'd `allow` must not lint clean).
+///
+/// A directive must *start* its comment (after doc-comment sigils); a marker
+/// quoted mid-prose — documentation talking about the syntax — is not one.
+pub fn parse_directive(comment: &str) -> Option<Result<Directive, String>> {
+    let head =
+        comment.trim_start_matches(|c: char| c.is_whitespace() || c == '/' || c == '!' || c == '*');
+    if !head.starts_with(MARKER) {
+        return None;
+    }
+    let body = head[MARKER.len()..].trim();
+    if body == "hot-path" {
+        return Some(Ok(Directive::HotPath));
+    }
+    if body == "end-hot-path" {
+        return Some(Ok(Directive::EndHotPath));
+    }
+    if let Some(rest) = body.strip_prefix("allow(") {
+        let Some(close) = rest.find(')') else {
+            return Some(Err("unclosed `allow(` directive".to_string()));
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            return Some(Err("`allow()` names no rules".to_string()));
+        }
+        let tail = rest[close + 1..].trim();
+        let Some(reason) = tail.strip_prefix("--") else {
+            return Some(Err(
+                "`allow(...)` needs a reason: `-- <why this is sound>`".to_string()
+            ));
+        };
+        let reason = reason.trim();
+        if reason.is_empty() {
+            return Some(Err("`allow(...) --` has an empty reason".to_string()));
+        }
+        return Some(Ok(Directive::Allow {
+            rules,
+            reason: reason.to_string(),
+        }));
+    }
+    Some(Err(format!(
+        "unknown directive `{}` (expected `allow(...) -- reason`, `hot-path`, or `end-hot-path`)",
+        body.split_whitespace().next().unwrap_or("")
+    )))
+}
+
+/// One token of the code text: an identifier (including keywords and number
+/// literals — rules only ever match known names) or a single punctuation char.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token text; punctuation tokens are one char long.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Whether this is an identifier-like token.
+    pub ident: bool,
+}
+
+/// Tokenizes the code text of `lines` (strings are already blanked to `""` by
+/// [`split_lines`], so literal contents never produce identifiers).
+pub fn tokenize(lines: &[Line]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut chars = line.code.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c.is_whitespace() {
+                continue;
+            }
+            if c.is_alphanumeric() || c == '_' {
+                let mut text = String::new();
+                text.push(c);
+                while let Some(&n) = chars.peek() {
+                    if n.is_alphanumeric() || n == '_' {
+                        text.push(n);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    text,
+                    line: idx + 1,
+                    ident: true,
+                });
+            } else {
+                tokens.push(Token {
+                    text: c.to_string(),
+                    line: idx + 1,
+                    ident: false,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let src = "let x = \"a // not comment\"; // real comment\nlet y = 1; /* block\nstill block */ let z = 2;\n";
+        let lines = split_lines(src);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].code.contains("let x"));
+        assert!(!lines[0].code.contains("not comment"));
+        assert_eq!(lines[0].strings, vec!["a // not comment".to_string()]);
+        assert_eq!(lines[0].comment.trim(), "real comment");
+        assert!(lines[1].comment.contains("block"));
+        assert!(lines[2].code.contains("let z"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "let s = r#\"raw \"quoted\" text\"#;\nfn f<'a>(x: &'a str) -> char { 'y' }\n";
+        let lines = split_lines(src);
+        assert_eq!(lines[0].strings, vec!["raw \"quoted\" text".to_string()]);
+        assert!(lines[1].code.contains("'a"));
+        assert!(!lines[1].code.contains('y'));
+    }
+
+    #[test]
+    fn directives_parse_and_reject() {
+        assert_eq!(
+            parse_directive(" cyclone-lint: hot-path"),
+            Some(Ok(Directive::HotPath))
+        );
+        let allow =
+            parse_directive(" cyclone-lint: allow(io-unwrap, wall-clock) -- benches are fail-fast");
+        match allow {
+            Some(Ok(Directive::Allow { rules, reason })) => {
+                assert_eq!(rules, vec!["io-unwrap", "wall-clock"]);
+                assert_eq!(reason, "benches are fail-fast");
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert!(matches!(
+            parse_directive(" cyclone-lint: allow(io-unwrap)"),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_directive(" cyclone-lint: allow(io-unwrap) -- "),
+            Some(Err(_))
+        ));
+        assert!(matches!(
+            parse_directive(" cyclone-lint: hotpath"),
+            Some(Err(_))
+        ));
+        assert_eq!(parse_directive("ordinary comment"), None);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        let src = "let s = \"first \\\n  second\";\nlet t = 1;\n";
+        let lines = split_lines(src);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].code.contains("let t"));
+        let toks = tokenize(&lines);
+        let t = toks.iter().find(|t| t.text == "t").expect("token t");
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn tokenizer_splits_idents_and_punct() {
+        let lines = split_lines("foo.bar::<Baz>(1);\n");
+        let toks = tokenize(&lines);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["foo", ".", "bar", ":", ":", "<", "Baz", ">", "(", "1", ")", ";"]
+        );
+    }
+}
