@@ -38,6 +38,7 @@ use decoder::bposd::{BpOsdDecoder, DecodeMethod};
 use decoder::memory::{BatchScratch, BatchStats, MemoryConfig, MemoryExperiment, ShotScratch};
 use decoder::osd::OsdDecoder;
 use decoder::scratch::DecoderScratch;
+use decoder::simd::{Simd, SimdIsa, SimdMode};
 use noise::{ErrorChannel, HardwareNoiseModel, NoiseParameters};
 use qec::codes::bb_72_12_6;
 use rand::rngs::StdRng;
@@ -80,6 +81,20 @@ const ENFORCE_MAX_WARM_STRUCTURED_PENALTY: f64 = 5.0;
 /// Warm-run regression floor for the slowest structured-channel batch rate
 /// (measured ~2M shots/sec on this container).
 const ENFORCE_MIN_WARM_STRUCTURED_BATCH_SHOTS_PER_SEC: f64 = 300_000.0;
+
+/// SIMD-only regression floor for the BP kernel gain, applied under
+/// `CYCLONE_ENFORCE=1` when the dispatched ISA is AVX2 (this container's
+/// acceptance ISA): `bp_only_decodes_per_sec` must be at least this multiple of
+/// the forced-scalar rate measured in the same run. Hosts that dispatch SSE2 or
+/// scalar record the honest ratio (or `simd_not_available`) without enforcing.
+const ENFORCE_MIN_BP_SIMD_SPEEDUP: f64 = 1.5;
+
+/// SIMD-only ceiling for the worst cold structured-channel penalty under
+/// `CYCLONE_ENFORCE=1` on an AVX2 host: the vectorized check pass shrinks the
+/// compulsory-miss BP cost, so the cold penalty must sit below the scalar-era
+/// 22× (the scalar-safe [`ENFORCE_MAX_STRUCTURED_PENALTY`] ceiling still
+/// applies to `CYCLONE_SIMD=off` runs).
+const ENFORCE_MAX_SIMD_STRUCTURED_PENALTY: f64 = 22.0;
 
 /// The physical error rate of the acceptance measurement.
 const P: f64 = 3e-3;
@@ -210,10 +225,39 @@ fn main() {
         let status = decoder.decode_into(s, P, &mut scratch);
         assert_eq!(status.method, DecodeMethod::BeliefPropagation);
     }
+    let before = allocations();
     let bp_rate = rate(iters, |i| {
         let s = &weight1_syndromes[i % weight1_syndromes.len()];
         black_box(decoder.decode_into(black_box(s), P, &mut scratch));
     });
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state BP-only decode_into must not allocate (dispatched kernel)"
+    );
+
+    // --- BP-only again, kernel dispatch pinned to the scalar reference. -----
+    // Same syndromes, same run, so `bp_rate / bp_scalar_rate` is an honest
+    // same-host measure of the SIMD check-pass gain (the property suite pins
+    // the two paths bit-identical, so this is purely a throughput ratio).
+    let simd = decoder.simd();
+    let scalar_decoder = BpOsdDecoder::new(code.hz(), 30).with_simd(Simd::with_mode(SimdMode::Off));
+    let mut scalar_scratch = DecoderScratch::new();
+    for s in &weight1_syndromes {
+        let status = scalar_decoder.decode_into(s, P, &mut scalar_scratch);
+        assert_eq!(status.method, DecodeMethod::BeliefPropagation);
+    }
+    let before = allocations();
+    let bp_scalar_rate = rate(iters, |i| {
+        let s = &weight1_syndromes[i % weight1_syndromes.len()];
+        black_box(scalar_decoder.decode_into(black_box(s), P, &mut scalar_scratch));
+    });
+    assert_eq!(
+        allocations() - before,
+        0,
+        "steady-state BP-only decode_into must not allocate (scalar kernel)"
+    );
+    let bp_simd_speedup = bp_rate / bp_scalar_rate;
 
     // --- OSD-fallback: syndromes on which BP fails. -------------------------
     let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5);
@@ -383,7 +427,16 @@ fn main() {
     let cache_hit_rate = biased.cache_hit_rate();
 
     println!("decoder hot path, [[72,12,6]] BB code at p = {P:.0e} ({iters} iterations)");
+    println!(
+        "  simd dispatch: {} ({} lanes{})",
+        simd.isa_name(),
+        simd.lanes(),
+        if simd.forced() { ", forced" } else { "" }
+    );
     println!("  BP-only        {bp_rate:>12.0} decodes/sec");
+    println!(
+        "    scalar ref   {bp_scalar_rate:>12.0} decodes/sec ({bp_simd_speedup:.2}x kernel gain)"
+    );
     println!("  OSD-fallback   {osd_rate:>12.0} decodes/sec (BP failure + OSD)");
     println!("    OSD warm     {osd_warm_rate:>12.0} decodes/sec (stage alone)");
     println!("    OSD cold     {osd_cold_rate:>12.0} decodes/sec ({osd_warm_speedup:.2}x warm-start gain)");
@@ -443,9 +496,29 @@ fn main() {
                  {ENFORCE_MIN_WARM_STRUCTURED_BATCH_SHOTS_PER_SEC:.0} shots/sec"
             );
         }
+        // SIMD-only thresholds are tied to the acceptance ISA: SSE2 and scalar
+        // hosts record honest numbers without gating on them, and a forced
+        // `CYCLONE_SIMD=off` enforce run stays on the scalar-safe ceilings.
+        if simd.isa() == SimdIsa::Avx2 {
+            assert!(
+                bp_simd_speedup >= ENFORCE_MIN_BP_SIMD_SPEEDUP,
+                "AVX2 BP kernel gain regressed: {bp_simd_speedup:.2}x < \
+                 {ENFORCE_MIN_BP_SIMD_SPEEDUP:.2}x vs same-run scalar reference"
+            );
+            assert!(
+                structured_penalty <= ENFORCE_MAX_SIMD_STRUCTURED_PENALTY,
+                "AVX2 structured-channel penalty regressed: {structured_penalty:.2}x > \
+                 {ENFORCE_MAX_SIMD_STRUCTURED_PENALTY:.2}x"
+            );
+        }
         println!(
-            "  CYCLONE_ENFORCE: thresholds hold ({})",
-            if warm { "cold + warm" } else { "cold" }
+            "  CYCLONE_ENFORCE: thresholds hold ({}{})",
+            if warm { "cold + warm" } else { "cold" },
+            if simd.isa() == SimdIsa::Avx2 {
+                " + avx2"
+            } else {
+                ""
+            }
         );
     }
 
@@ -458,9 +531,20 @@ fn main() {
             m.cache_hit_rate(),
         )
     };
+    // Mirrors the sweep bench's `scaling_not_measurable` convention: a host
+    // (or a forced `CYCLONE_SIMD=off` run) without a vector ISA records an
+    // honest marker instead of a ~1.0x ratio that would read as a regression.
+    let speedup_field = if simd.is_vectorized() {
+        format!("{bp_simd_speedup:.2}")
+    } else {
+        "\"simd_not_available\"".to_owned()
+    };
     let json = format!(
         "{{\n  \"code\": \"{}\",\n  \"p\": {P},\n  \"iterations\": {iters},\n  \
+         \"simd\": {{\n    \"isa\": \"{}\",\n    \"forced\": {},\n    \"lanes\": {}\n  }},\n  \
          \"bp_only_decodes_per_sec\": {bp_rate:.1},\n  \
+         \"bp_scalar_decodes_per_sec\": {bp_scalar_rate:.1},\n  \
+         \"bp_simd_speedup\": {speedup_field},\n  \
          \"osd_fallback_decodes_per_sec\": {osd_rate:.1},\n  \
          \"osd_stage_decodes_per_sec\": {{\n    \"warm\": {osd_warm_rate:.1},\n    \
          \"cold\": {osd_cold_rate:.1},\n    \"warm_start_speedup\": {osd_warm_speedup:.2}\n  }},\n  \
@@ -470,7 +554,6 @@ fn main() {
          \"batch_shots_per_sec\": {{\n    \"uniform\": {uniform_batch:.1},\n    \
          \"biased\": {biased_batch:.1},\n    \"schedule\": {schedule_batch:.1}\n  }},\n  \
          \"batch_channel_stats\": {{\n    \"biased\": {},\n    \"schedule\": {}\n  }},\n  \
-         \"batch_cache_hit_rate\": {cache_hit_rate:.3},\n  \
          \"batch_cache_evictions\": {cache_evictions},\n  \
          \"decode_cache\": {{\n    \"persistent\": {},\n    \
          \"entries_loaded\": {entries_loaded},\n    \"warm\": {warm}\n  }},\n  \
@@ -479,6 +562,9 @@ fn main() {
          \"pre_pr_baseline_shots_per_sec\": {PRE_PR_BASELINE_SHOTS_PER_SEC:.1},\n  \
          \"speedup_vs_pre_pr\": {speedup:.2}\n}}\n",
         code.descriptor(),
+        simd.isa_name(),
+        simd.forced(),
+        simd.lanes(),
         channel_stats(&biased),
         channel_stats(&schedule),
         decode_cache_dir.is_some(),

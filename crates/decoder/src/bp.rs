@@ -12,7 +12,8 @@
 //! caller-owned [`DecoderScratch`] — zero heap allocation per decode in steady state.
 
 use crate::scratch::DecoderScratch;
-use crate::sparse::{SparseBinMat, TannerGraph};
+use crate::simd::{Simd, SimdIsa};
+use crate::sparse::{SparseBinMat, TannerGraph, PAD_LANES};
 
 /// A 64-bit FNV-1a digest over the exact bit patterns of a priors vector — the
 /// content key of the priors-LLR cache (see
@@ -66,6 +67,9 @@ pub struct BeliefPropagation {
     check_masks: Vec<u64>,
     /// Words per check row in `check_masks`: `num_cols.div_ceil(64)`.
     mask_words: usize,
+    /// Which check-pass implementation `propagate` dispatches to, decided once
+    /// at construction ([`Simd::from_env`]); see [`crate::simd`].
+    simd: Simd,
 }
 
 impl BeliefPropagation {
@@ -92,6 +96,7 @@ impl BeliefPropagation {
             scale: 0.75,
             check_masks,
             mask_words,
+            simd: Simd::from_env(),
         }
     }
 
@@ -104,6 +109,19 @@ impl BeliefPropagation {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0,1]");
         self.scale = scale;
         self
+    }
+
+    /// Overrides the check-pass dispatch decided by [`Simd::from_env`] — how
+    /// tests and benches pin the scalar reference and the vectorized path side
+    /// by side regardless of `CYCLONE_SIMD`.
+    pub fn with_simd(mut self, simd: Simd) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// The check-pass dispatch this decoder runs with.
+    pub fn simd(&self) -> Simd {
+        self.simd
     }
 
     /// The parity-check matrix.
@@ -226,7 +244,26 @@ impl BeliefPropagation {
         self.propagate(syndrome, scratch)
     }
 
-    /// The flooding min-sum schedule over the flattened graph. Message accumulation
+    /// Runs the flooding min-sum schedule, dispatching to the vectorized or the
+    /// scalar propagate path per the construction-time [`Simd`] decision. The
+    /// two paths are byte-identical by design (property-pinned in
+    /// `tests/properties.rs`): the vectorized path only replaces the order-free
+    /// check-pass reductions and the hard-decision predicate packing, never the
+    /// order-sensitive variable-pass summation.
+    fn propagate(&self, syndrome: &[bool], scratch: &mut DecoderScratch) -> BpStatus {
+        match self.simd.isa() {
+            SimdIsa::Scalar => self.propagate_scalar(syndrome, scratch),
+            #[cfg(target_arch = "x86_64")]
+            SimdIsa::Avx2 | SimdIsa::Sse2 => self.propagate_simd(syndrome, scratch),
+            // A vector ISA can only be dispatched on x86-64 (`best_available`
+            // is cfg-gated), so this arm is unreachable elsewhere.
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdIsa::Avx2 | SimdIsa::Sse2 => unreachable!("vector ISA dispatched off x86-64"),
+        }
+    }
+
+    /// The scalar flooding min-sum schedule over the flattened graph — the
+    /// authoritative property-pinned reference path. Message accumulation
     /// visits edges in exactly the order of the historical nested-`Vec`
     /// implementation (row-major on the check side, ascending-check on the variable
     /// side), so results are bit-identical to it.
@@ -247,7 +284,7 @@ impl BeliefPropagation {
     ///   a packed hard-decision vector maintained by the variable pass — pure
     ///   boolean parity, order-insensitive by commutativity of XOR.
     // cyclone-lint: hot-path
-    fn propagate(&self, syndrome: &[bool], scratch: &mut DecoderScratch) -> BpStatus {
+    fn propagate_scalar(&self, syndrome: &[bool], scratch: &mut DecoderScratch) -> BpStatus {
         let m = self.h.num_rows();
         let n = self.h.num_cols();
         let graph = &self.graph;
@@ -340,14 +377,6 @@ impl BeliefPropagation {
                 *slot = bit;
                 err_words[c >> 6] |= u64::from(bit) << (c & 63);
             }
-            for ((&c, &ctv), out) in graph
-                .edge_vars()
-                .iter()
-                .zip(check_to_var.iter())
-                .zip(var_to_check.iter_mut())
-            {
-                *out = llrs[c] - ctv;
-            }
             // Convergence: does the hard decision reproduce the syndrome?
             let matches = syndrome.iter().enumerate().all(|(r, &syn)| {
                 let mask = &check_masks[r * mask_words..(r + 1) * mask_words];
@@ -363,6 +392,183 @@ impl BeliefPropagation {
                     iterations: iteration,
                 };
             }
+            // Variable→check writeback feeds only the *next* check pass, so it
+            // is skipped when this was the last iteration — output-invariant,
+            // and it removes one full edge sweep from every converging decode.
+            if iteration < self.max_iterations {
+                for ((&c, &ctv), out) in graph
+                    .edge_vars()
+                    .iter()
+                    .zip(check_to_var.iter())
+                    .zip(var_to_check.iter_mut())
+                {
+                    *out = llrs[c] - ctv;
+                }
+            }
+        }
+        BpStatus {
+            converged: false,
+            iterations: self.max_iterations,
+        }
+    }
+    // cyclone-lint: end-hot-path
+
+    /// The vectorized propagate path: the same flooding schedule as
+    /// [`BeliefPropagation::propagate_scalar`], with the check-node pass and the
+    /// hard-decision predicate packing dispatched to the [`crate::simd`] kernels
+    /// over the row-interleaved layout ([`TannerGraph::edge_slots`], lane =
+    /// check within its group of four).
+    ///
+    /// Byte-identity with the scalar path (property-pinned in
+    /// `tests/properties.rs`) rests on three invariants:
+    ///
+    /// * each kernel lane runs one check's reduction in isolation — the exact
+    ///   strict-`<` two-min ladder and sign-parity XOR of the scalar row loop,
+    ///   over that row's messages in row order — so no cross-lane (horizontal)
+    ///   combining ever happens;
+    /// * padding slots hold `+∞` with a positive sign — the neutral element of
+    ///   both check-pass reductions — written once at decode start and never
+    ///   touched again, because the variable pass walks only the real edges
+    ///   (through `edge_slots`, in exact row-major order, keeping the
+    ///   order-sensitive scalar accumulation untouched);
+    /// * the check pass emits `scaled2` at every lane position whose magnitude
+    ///   *equals* the row minimum (the scalar path excludes only the first such
+    ///   index) — identical bits, because tied magnitudes force `min2 == min1`
+    ///   and hence `scaled2 == scaled1`.
+    ///
+    /// Only compiled on x86-64 — the only architecture the dispatch selects
+    /// vector ISAs on.
+    // cyclone-lint: hot-path
+    #[cfg(target_arch = "x86_64")]
+    fn propagate_simd(&self, syndrome: &[bool], scratch: &mut DecoderScratch) -> BpStatus {
+        use crate::simd::{
+            check_pass_avx2, check_pass_sse2, hard_decision_avx2, hard_decision_sse2,
+        };
+        let m = self.h.num_rows();
+        let n = self.h.num_cols();
+        let graph = &self.graph;
+        assert_eq!(
+            syndrome.len(),
+            m,
+            "syndrome length must equal number of checks"
+        );
+
+        let num_slots = graph.num_interleaved_slots();
+        // Rounded up so the hard-decision kernel's lane-wide reads past `n`
+        // stay in bounds (the `+∞` tail is set below, once per decode).
+        let padded_n = n.next_multiple_of(PAD_LANES);
+        let lane_rows = graph.num_row_groups() * PAD_LANES;
+        scratch.ctv_lanes.ensure_len(num_slots);
+        scratch.vtc_lanes.ensure_len(num_slots);
+        scratch.llrs_pad.ensure_len(padded_n);
+        scratch.syn_mask.ensure_len(lane_rows);
+        if scratch.llrs.len() != n {
+            scratch.llrs.resize(n, 0.0);
+        }
+        if scratch.error.len() != n {
+            scratch.error.resize(n, false);
+        }
+        let mask_words = self.mask_words;
+        if scratch.err_words.len() != mask_words {
+            scratch.err_words.resize(mask_words, 0);
+        }
+
+        let check_to_var = scratch.ctv_lanes.as_mut_slice();
+        let var_to_check = scratch.vtc_lanes.as_mut_slice();
+        let llrs = &mut scratch.llrs;
+        let llrs_pad = scratch.llrs_pad.as_mut_slice();
+        let syn_mask = scratch.syn_mask.as_mut_slice();
+        let error = &mut scratch.error;
+        let err_words = &mut scratch.err_words;
+        let channel_llr = &scratch.channel_llr;
+        let check_masks = &self.check_masks;
+        let group_ptr = graph.group_ptr();
+        let edge_vars = graph.edge_vars();
+        let edge_slots = graph.edge_slots();
+        let scale = self.scale;
+        let avx2 = self.simd.isa() == SimdIsa::Avx2;
+
+        // Per-decode init: the syndrome is constant across iterations, so its
+        // lane masks are built once (phantom lanes past `m` stay zero); message
+        // padding slots get `+∞` — the neutral element of both check-pass
+        // reductions — and are never written again, because the variable-pass
+        // writeback below touches only real-edge slots.
+        for (w, &syn) in syn_mask.iter_mut().zip(syndrome.iter()) {
+            *w = if syn { u64::MAX } else { 0 };
+        }
+        llrs_pad[..n].copy_from_slice(channel_llr);
+        for slot in llrs_pad[n..].iter_mut() {
+            *slot = f64::INFINITY;
+        }
+        for &slot in graph.pad_slots() {
+            var_to_check[slot as usize] = f64::INFINITY;
+        }
+        for (&c, &slot) in edge_vars.iter().zip(edge_slots.iter()) {
+            var_to_check[slot as usize] = channel_llr[c];
+        }
+
+        for iteration in 1..=self.max_iterations {
+            if avx2 {
+                // SAFETY: this branch is reached only when construction-time
+                // dispatch observed `is_x86_feature_detected!("avx2")`; the
+                // group pointers bound both message arenas and `syn_mask` holds
+                // one word per lane-row by the `TannerGraph` construction and
+                // the sizing above.
+                unsafe { check_pass_avx2(syn_mask, group_ptr, var_to_check, check_to_var, scale) }
+            } else {
+                // SAFETY: SSE2 is the x86-64 compilation baseline — always
+                // available here; same layout contract as above.
+                unsafe { check_pass_sse2(syn_mask, group_ptr, var_to_check, check_to_var, scale) }
+            }
+            // Variable-node update: the order-sensitive scalar accumulation,
+            // untouched — `edge_slots` visits the interleaved arena in exact
+            // row-major real-edge order, so every column's additions happen in
+            // the reference path's order. Padding slots are never read here.
+            llrs_pad[..n].copy_from_slice(channel_llr);
+            for (&c, &slot) in edge_vars.iter().zip(edge_slots.iter()) {
+                llrs_pad[c] += check_to_var[slot as usize];
+            }
+            if avx2 {
+                // SAFETY: AVX2 verified at dispatch (above); `llrs_pad` is
+                // sized `padded_n >= n.div_ceil(4) * 4` and `err_words` holds
+                // `n.div_ceil(64)` words.
+                unsafe { hard_decision_avx2(llrs_pad, n, err_words) }
+            } else {
+                // SAFETY: SSE2 baseline; same size contract.
+                unsafe { hard_decision_sse2(llrs_pad, n, err_words) }
+            }
+            // Convergence: identical mask-based check as the scalar path — the
+            // kernels pack the same `llr < 0.0` predicate bits.
+            let matches = syndrome.iter().enumerate().all(|(r, &syn)| {
+                let mask = &check_masks[r * mask_words..(r + 1) * mask_words];
+                let mut acc = 0u64;
+                for (&mw, &ew) in mask.iter().zip(err_words.iter()) {
+                    acc ^= mw & ew;
+                }
+                (acc.count_ones() & 1 == 1) == syn
+            });
+            if matches {
+                llrs.copy_from_slice(&llrs_pad[..n]);
+                for (c, slot) in error.iter_mut().enumerate() {
+                    *slot = (err_words[c >> 6] >> (c & 63)) & 1 == 1;
+                }
+                return BpStatus {
+                    converged: true,
+                    iterations: iteration,
+                };
+            }
+            // Variable→check writeback feeds only the *next* check pass — same
+            // last-iteration skip as the scalar path (output-invariant).
+            if iteration < self.max_iterations {
+                for (&c, &slot) in edge_vars.iter().zip(edge_slots.iter()) {
+                    let s = slot as usize;
+                    var_to_check[s] = llrs_pad[c] - check_to_var[s];
+                }
+            }
+        }
+        llrs.copy_from_slice(&llrs_pad[..n]);
+        for (c, slot) in error.iter_mut().enumerate() {
+            *slot = (err_words[c >> 6] >> (c & 63)) & 1 == 1;
         }
         BpStatus {
             converged: false,

@@ -64,6 +64,18 @@ impl BpOsdDecoder {
         self.bp.matrix()
     }
 
+    /// Overrides the BP check-pass SIMD dispatch (decided from `CYCLONE_SIMD` at
+    /// construction) — see [`BeliefPropagation::with_simd`].
+    pub fn with_simd(mut self, simd: crate::simd::Simd) -> Self {
+        self.bp = self.bp.with_simd(simd);
+        self
+    }
+
+    /// The BP check-pass SIMD dispatch this decoder runs with.
+    pub fn simd(&self) -> crate::simd::Simd {
+        self.bp.simd()
+    }
+
     /// Decodes `syndrome` assuming a uniform prior error probability `p` per bit.
     ///
     /// Always returns an error pattern whose syndrome matches (OSD guarantees a

@@ -5,6 +5,9 @@
 //! * a sparse binary matrix type and flattened (CSR) Tanner graphs ([`sparse`]),
 //! * normalized min-sum belief propagation ([`bp`]) with an ordered-statistics
 //!   fallback ([`osd`]), combined in [`bposd`],
+//! * explicitly vectorized min-sum check-pass kernels with runtime ISA dispatch
+//!   ([`simd`]), byte-identical to the scalar reference and overridable via
+//!   `CYCLONE_SIMD`,
 //! * reusable decode workspaces ([`scratch`]) backing the allocation-free
 //!   `decode_into` hot paths,
 //! * a circuit-level Pauli-frame simulator for syndrome-extraction circuits
@@ -36,6 +39,7 @@ pub mod memory;
 pub mod osd;
 pub mod pauli;
 pub mod scratch;
+pub mod simd;
 pub mod sparse;
 
 pub use bposd::BpOsdDecoder;
@@ -44,3 +48,4 @@ pub use memory::{
 };
 pub use pauli::{CircuitNoise, PauliFrameSimulator};
 pub use scratch::DecoderScratch;
+pub use simd::{Simd, SimdIsa, SimdMode};

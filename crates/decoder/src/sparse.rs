@@ -126,6 +126,12 @@ impl SparseBinMat {
     // cyclone-lint: end-hot-path
 }
 
+/// Lane width of the row-interleaved SIMD layout: checks are processed in
+/// groups of four, one per `f64` lane of an AVX2 vector. SSE2 kernels walk the
+/// same layout as two 2-lane halves, so one layout serves every dispatched ISA
+/// (see [`crate::simd`]).
+pub const PAD_LANES: usize = 4;
+
 /// A flattened (CSR-style) Tanner graph derived from a [`SparseBinMat`].
 ///
 /// Edges (nonzero entries of `H`) are numbered row-major: edge ids of check `r` are
@@ -134,6 +140,20 @@ impl SparseBinMat {
 /// in ascending-check order, so belief propagation can store both message directions
 /// in two flat `f64` arenas indexed by edge id — no per-decode adjacency rebuild and
 /// no nested `Vec`s on the hot path.
+///
+/// Alongside the exact layout, the graph carries a **row-interleaved** slot
+/// numbering for the SIMD check pass ([`crate::simd`]): checks are processed in
+/// groups of [`PAD_LANES`], lane = check, so every per-row reduction — sign
+/// parity (XOR of `msg < 0.0` predicates) and the two-smallest-magnitude scan —
+/// stays entirely lane-wise with *no* horizontal combine. Group `g` owns slots
+/// `group_ptr[g]..group_ptr[g + 1]`: slot `group_ptr[g] + j·PAD_LANES + lane`
+/// holds message `j` of check `g·PAD_LANES + lane`, and the group's depth is
+/// the maximum degree among its checks. Slots past a check's degree (and whole
+/// lanes past `num_checks` in the last group) are padding: they hold
+/// neutral-element messages (`+∞` magnitude, positive sign), are written once
+/// at decode start, and are never touched again — the variable pass walks only
+/// the real edges through [`TannerGraph::edge_slots`], in exactly the
+/// row-major order the (order-sensitive) scalar accumulation uses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TannerGraph {
     num_checks: usize,
@@ -142,6 +162,15 @@ pub struct TannerGraph {
     col_of_edge: Vec<usize>,
     col_ptr: Vec<usize>,
     col_edges: Vec<usize>,
+    /// Interleaved group pointers: row group `g` (checks
+    /// `g·PAD_LANES..(g+1)·PAD_LANES`) owns slots `group_ptr[g]..group_ptr[g+1]`,
+    /// always a multiple of [`PAD_LANES`] long.
+    group_ptr: Vec<usize>,
+    /// Interleaved slot of each real edge, indexed by row-major edge id.
+    edge_slots: Vec<u32>,
+    /// Interleaved slots holding no real edge (ascending) — the complement of
+    /// `edge_slots` over `0..num_interleaved_slots()`.
+    pad_slots: Vec<u32>,
 }
 
 impl TannerGraph {
@@ -174,6 +203,41 @@ impl TannerGraph {
             col_edges[fill[c]] = e;
             fill[c] += 1;
         }
+        // Row-interleaved layout: lane = check within its group of PAD_LANES,
+        // group depth = the maximum degree among the group's checks. Message j
+        // of check r lands at slot `group_ptr[g] + j·PAD_LANES + (r mod
+        // PAD_LANES)`, so a group's messages at position j form one contiguous
+        // vector across its lanes.
+        let groups = m.div_ceil(PAD_LANES);
+        let mut group_ptr = Vec::with_capacity(groups + 1);
+        let mut edge_slots = vec![0u32; col_of_edge.len()];
+        group_ptr.push(0);
+        let mut base = 0usize;
+        for g in 0..groups {
+            let first = g * PAD_LANES;
+            let last = (first + PAD_LANES).min(m);
+            let depth = (first..last).map(|r| h.row(r).len()).max().unwrap_or(0);
+            for (lane, r) in (first..last).enumerate() {
+                for (j, slot) in edge_slots[row_ptr[r]..row_ptr[r + 1]]
+                    .iter_mut()
+                    .enumerate()
+                {
+                    *slot = u32::try_from(base + j * PAD_LANES + lane)
+                        .expect("interleaved arena exceeds u32 slot indexing");
+                }
+            }
+            base += depth * PAD_LANES;
+            group_ptr.push(base);
+        }
+        // Complement of `edge_slots` over the arena: the padding slots the BP
+        // per-decode init must neutralize (`+∞`). Precomputing the list keeps
+        // that init proportional to the padding (typically a small fraction of
+        // the arena) instead of a full-arena fill.
+        let mut is_real = vec![false; base];
+        for &slot in &edge_slots {
+            is_real[slot as usize] = true;
+        }
+        let pad_slots: Vec<u32> = (0..base as u32).filter(|&s| !is_real[s as usize]).collect();
         TannerGraph {
             num_checks: m,
             num_vars: n,
@@ -181,6 +245,9 @@ impl TannerGraph {
             col_of_edge,
             col_ptr,
             col_edges,
+            group_ptr,
+            edge_slots,
+            pad_slots,
         }
     }
 
@@ -222,6 +289,41 @@ impl TannerGraph {
     #[inline]
     pub fn edge_vars(&self) -> &[usize] {
         &self.col_of_edge
+    }
+
+    /// Total number of interleaved slots (real edges plus padding), i.e. the
+    /// length of the SIMD message arenas.
+    #[inline]
+    pub fn num_interleaved_slots(&self) -> usize {
+        *self.group_ptr.last().expect("group_ptr is never empty")
+    }
+
+    /// Number of row groups (`num_checks` rounded up to [`PAD_LANES`] lanes).
+    #[inline]
+    pub fn num_row_groups(&self) -> usize {
+        self.group_ptr.len() - 1
+    }
+
+    /// The interleaved group-pointer array (`num_row_groups() + 1` entries,
+    /// every span a multiple of [`PAD_LANES`]).
+    #[inline]
+    pub fn group_ptr(&self) -> &[usize] {
+        &self.group_ptr
+    }
+
+    /// The interleaved slot of each real edge, indexed by row-major edge id —
+    /// the bridge the (order-sensitive) scalar variable pass uses to read and
+    /// write the interleaved message arenas in exact row-major edge order.
+    #[inline]
+    pub fn edge_slots(&self) -> &[u32] {
+        &self.edge_slots
+    }
+
+    /// The interleaved slots that hold no real edge, ascending — the padding
+    /// positions the SIMD per-decode init neutralizes with `+∞`.
+    #[inline]
+    pub fn pad_slots(&self) -> &[u32] {
+        &self.pad_slots
     }
 }
 
@@ -312,5 +414,62 @@ mod tests {
         // Column 0 is touched by checks 0, 1, 2 via edges 0, 1, 2 in that order.
         assert_eq!(g.var_edges(0), &[0, 1, 2]);
         assert_eq!(g.var_of(2), 0);
+    }
+
+    /// The row-interleaved construction invariants the SIMD check pass relies
+    /// on: lane-aligned group spans sized by the group's maximum degree, slot
+    /// `group_base + j·PAD_LANES + lane` holding message `j` of check
+    /// `group·PAD_LANES + lane`, and every real edge owning a unique in-bounds
+    /// slot.
+    #[test]
+    fn interleaved_layout_invariants() {
+        // Degrees 1, 4, 0 (empty), 3 | 9 — mixed degrees within a group plus a
+        // partial trailing group with phantom lanes.
+        let rows = vec![
+            vec![2],
+            vec![0, 1, 2, 3],
+            vec![],
+            vec![1, 3, 4],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8],
+        ];
+        let s = SparseBinMat::from_row_supports(9, rows.clone());
+        let g = TannerGraph::new(&s);
+        assert_eq!(g.num_row_groups(), rows.len().div_ceil(PAD_LANES));
+        let ptr = g.group_ptr();
+        assert_eq!(ptr.len(), g.num_row_groups() + 1);
+        assert_eq!(ptr[0], 0);
+        for grp in 0..g.num_row_groups() {
+            let first = grp * PAD_LANES;
+            let last = (first + PAD_LANES).min(rows.len());
+            let depth = (first..last).map(|r| rows[r].len()).max().unwrap_or(0);
+            assert_eq!(
+                ptr[grp + 1] - ptr[grp],
+                depth * PAD_LANES,
+                "group {grp} span must be max-degree × lanes"
+            );
+        }
+        assert_eq!(g.num_interleaved_slots(), *ptr.last().unwrap());
+        // Each real edge's slot encodes (group, position, lane) of its check.
+        assert_eq!(g.edge_slots().len(), g.num_edges());
+        let mut edge = 0usize;
+        let mut seen = vec![false; g.num_interleaved_slots()];
+        for (r, row) in rows.iter().enumerate() {
+            for j in 0..row.len() {
+                let slot = g.edge_slots()[edge] as usize;
+                let expect = ptr[r / PAD_LANES] + j * PAD_LANES + (r % PAD_LANES);
+                assert_eq!(slot, expect, "edge {edge} (check {r}, msg {j})");
+                assert!(!seen[slot], "slot {slot} assigned twice");
+                seen[slot] = true;
+                edge += 1;
+            }
+        }
+        // `pad_slots` is exactly the ascending complement of the real-edge
+        // slots, so edge scatter + pad fill together touch every slot once.
+        let pads: Vec<usize> = g.pad_slots().iter().map(|&s| s as usize).collect();
+        let expect_pads: Vec<usize> = (0..g.num_interleaved_slots())
+            .filter(|&s| !seen[s])
+            .collect();
+        assert_eq!(pads, expect_pads);
+        assert_eq!(pads.len() + g.num_edges(), g.num_interleaved_slots());
     }
 }

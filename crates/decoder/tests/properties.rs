@@ -6,6 +6,7 @@ use decoder::bposd::{BpOsdDecoder, DecodeMethod};
 use decoder::memory::{BatchScratch, MemoryConfig, MemoryExperiment, ShotScratch};
 use decoder::osd::OsdDecoder;
 use decoder::scratch::DecoderScratch;
+use decoder::simd::{Simd, SimdMode};
 use decoder::sparse::SparseBinMat;
 use noise::{ErrorChannel, HardwareNoiseModel, NoiseParameters};
 use proptest::prelude::*;
@@ -273,11 +274,134 @@ proptest! {
     }
 
     #[test]
+    fn simd_propagate_is_bit_identical_to_scalar(
+        seed in 0u64..60,
+        p in 0.002f64..0.06,
+        bp_iterations in 1usize..16,
+        code_pick in 0usize..3,
+        channel_pick in 0usize..3,
+        flip_bits in 0u64..8,
+    ) {
+        // The vectorized propagate path (CYCLONE_SIMD=force) must reproduce the
+        // scalar reference (CYCLONE_SIMD=off) byte for byte: same convergence
+        // verdict and iteration count, same hard decisions, and bit-equal
+        // posterior LLRs — across the code catalog, all three channel shapes
+        // (uniform via the cached-LLR path, biased and schedule-derived via
+        // per-bit priors), both sectors, converged and exhausted runs (the low
+        // iteration caps force plenty of non-convergence), and syndromes the
+        // error alone would not produce (random measurement flips, including
+        // ones outside the column space). On hosts without a vector ISA,
+        // `force` resolves to the scalar path and the comparison is trivially
+        // green. Kernel-level adversarial inputs (-0.0, ties, infinities) are
+        // pinned separately in `decoder::simd`'s unit tests.
+        let code = match code_pick {
+            0 => qec::codes::bb_72_12_6().expect("valid"),
+            1 => qec::codes::hgp_100().expect("valid"),
+            _ => qec::codes::bb_90_8_10().expect("valid"),
+        };
+        let model = HardwareNoiseModel::new(NoiseParameters::new(p), 2e-3);
+        let n = code.num_qubits();
+        let checks = code.num_stabilizers();
+        let p_eff = model.effective_error_rate();
+        let channel = match channel_pick {
+            0 => ErrorChannel::uniform(n, p_eff),
+            1 => ErrorChannel::biased(n, checks, p_eff, (2.0 * p_eff).min(0.75)),
+            _ => {
+                let data_idle: Vec<f64> = (0..n).map(|q| 1e-3 * ((q % 7) as f64)).collect();
+                let meas_idle: Vec<f64> =
+                    (0..checks).map(|c| 1e-3 * ((c % 5) as f64)).collect();
+                ErrorChannel::from_schedule(&model, &data_idle, &meas_idle)
+            }
+        };
+        // Exactly the priors clamp `MemoryExperiment::rebuild_priors` applies.
+        let priors: Vec<f64> = channel.data().iter().map(|&r| r.clamp(1e-9, 0.45)).collect();
+        let mut rng = StdRng::seed_from_u64(0xC1C1_0DE5 ^ seed);
+        let error: Vec<bool> = (0..n).map(|_| rng.gen_bool(p_eff)).collect();
+        // One dirty scratch per side, bounced across sectors and channel kinds —
+        // the Monte-Carlo steady state, with `llrs_pad` reused iteration to
+        // iteration exactly as in production.
+        let mut simd_scratch = DecoderScratch::new();
+        let mut scalar_scratch = DecoderScratch::new();
+        for (h, mut syndrome) in [
+            (code.hz(), code.z_syndrome(&error)),
+            (code.hx(), code.x_syndrome(&error)),
+        ] {
+            for _ in 0..flip_bits {
+                let at = rng.gen_range(0..syndrome.len());
+                syndrome[at] = !syndrome[at];
+            }
+            let simd_bp = BeliefPropagation::new(SparseBinMat::from_bitmat(h), bp_iterations)
+                .with_simd(Simd::with_mode(SimdMode::Force));
+            let scalar_bp = BeliefPropagation::new(SparseBinMat::from_bitmat(h), bp_iterations)
+                .with_simd(Simd::with_mode(SimdMode::Off));
+            let a = simd_bp.decode_with_priors_into(&syndrome, &priors, &mut simd_scratch);
+            let b = scalar_bp.decode_with_priors_into(&syndrome, &priors, &mut scalar_scratch);
+            prop_assert_eq!(a, b, "priors-path status diverged");
+            prop_assert_eq!(simd_scratch.error(), scalar_scratch.error());
+            let simd_bits: Vec<u64> =
+                simd_scratch.llrs().iter().map(|v| v.to_bits()).collect();
+            let scalar_bits: Vec<u64> =
+                scalar_scratch.llrs().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(simd_bits, scalar_bits, "priors-path LLRs not byte-identical");
+            let ua = simd_bp.decode_into(&syndrome, p_eff.clamp(1e-9, 0.45), &mut simd_scratch);
+            let ub =
+                scalar_bp.decode_into(&syndrome, p_eff.clamp(1e-9, 0.45), &mut scalar_scratch);
+            prop_assert_eq!(ua, ub, "uniform-path status diverged");
+            prop_assert_eq!(simd_scratch.error(), scalar_scratch.error());
+            let simd_bits: Vec<u64> =
+                simd_scratch.llrs().iter().map(|v| v.to_bits()).collect();
+            let scalar_bits: Vec<u64> =
+                scalar_scratch.llrs().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(simd_bits, scalar_bits, "uniform-path LLRs not byte-identical");
+        }
+    }
+
+    #[test]
     fn effective_error_rate_monotone_in_latency(latency in 0.0f64..0.5, p_exp in 1.0f64..3.0) {
         let p = 10f64.powf(-1.0 - p_exp); // 1e-2 .. 1e-4
         let short = HardwareNoiseModel::new(NoiseParameters::new(p), latency);
         let long = HardwareNoiseModel::new(NoiseParameters::new(p), latency + 0.05);
         prop_assert!(long.effective_error_rate() >= short.effective_error_rate());
+    }
+}
+
+#[test]
+fn simd_propagate_matches_scalar_on_adversarial_row_shapes() {
+    // Row degrees chosen to stress the padded-CSR layout: an empty row (no
+    // padded range at all), a degree-1 row (min2 stays +∞, its one output is
+    // scale·min2 = +∞-scaled), a lane-exact degree-4 row, and degrees 5 and 9
+    // (one partial vector, two-vectors-plus-partial) — every syndrome pattern,
+    // several iteration caps, both converged and exhausted runs.
+    let h = SparseBinMat::from_row_supports(
+        11,
+        vec![
+            vec![],
+            vec![3],
+            vec![0, 2, 4, 6],
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 10],
+            vec![0, 5, 7, 9, 10],
+        ],
+    );
+    let mut simd_scratch = DecoderScratch::new();
+    let mut scalar_scratch = DecoderScratch::new();
+    for iterations in [1usize, 3, 30] {
+        let simd_bp = BeliefPropagation::new(h.clone(), iterations)
+            .with_simd(Simd::with_mode(SimdMode::Force));
+        let scalar_bp =
+            BeliefPropagation::new(h.clone(), iterations).with_simd(Simd::with_mode(SimdMode::Off));
+        for pattern in 0u32..32 {
+            let syndrome: Vec<bool> = (0..5).map(|r| (pattern >> r) & 1 == 1).collect();
+            let a = simd_bp.decode_into(&syndrome, 0.05, &mut simd_scratch);
+            let b = scalar_bp.decode_into(&syndrome, 0.05, &mut scalar_scratch);
+            assert_eq!(a, b, "status diverged on syndrome {pattern:05b}");
+            assert_eq!(simd_scratch.error(), scalar_scratch.error());
+            let simd_bits: Vec<u64> = simd_scratch.llrs().iter().map(|v| v.to_bits()).collect();
+            let scalar_bits: Vec<u64> = scalar_scratch.llrs().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                simd_bits, scalar_bits,
+                "LLRs not byte-identical on syndrome {pattern:05b}"
+            );
+        }
     }
 }
 

@@ -29,6 +29,11 @@
 //! * `io-unwrap` — bare `.unwrap()`/`.expect(...)` on a statement that performs
 //!   file I/O, in non-test code. Cache and sweep files are throwaway inputs;
 //!   corrupt ones must degrade to recompute, not panic.
+//! * `unsafe-safety` — an `unsafe` block, fn, or impl in non-test library code
+//!   without an adjacent safety argument: a `// SAFETY:` comment on or directly
+//!   above the line, or a `/// # Safety` doc section on the item. The SIMD
+//!   check-pass kernels (`decoder::simd`) are the workspace's sanctioned
+//!   `unsafe` surface; every new entry must carry its soundness argument.
 //! * `annotation` — malformed suppressions: `allow` without a reason, unknown
 //!   rule names, unbalanced hot-path markers. Suppressions are part of the
 //!   contract, so their syntax is linted too.
@@ -51,6 +56,7 @@ pub const RULE_NAMES: &[&str] = &[
     "hot-path-alloc",
     "config-registry",
     "io-unwrap",
+    "unsafe-safety",
     "annotation",
 ];
 

@@ -90,6 +90,7 @@ pub fn lint_file(file: &SourceFile) -> Vec<(Finding, bool)> {
     wall_clock(file, &mut out);
     hot_path_alloc(file, &mut out);
     io_unwrap(file, &mut out);
+    unsafe_safety(file, &mut out);
     out
 }
 
@@ -394,6 +395,74 @@ fn io_unwrap(file: &SourceFile, out: &mut Vec<(Finding, bool)>) {
                  failing fast is the contract",
                 tok.text
             ),
+        );
+    }
+}
+
+/// Whether a line's comment text argues safety: a `SAFETY:` tag (block-level
+/// convention) or a `# Safety` doc section (the rustdoc convention for
+/// `unsafe fn`).
+fn comment_argues_safety(comment: &str) -> bool {
+    comment.contains("SAFETY") || comment.contains("# Safety")
+}
+
+/// Whether 1-based `line` has an adjacent safety argument: a qualifying comment
+/// on the line itself, or on the unbroken run of comment-only, blank, and
+/// attribute lines directly above it (so `/// # Safety` doc sections and
+/// `// SAFETY:` comments above `#[target_feature]` attributes both count).
+fn has_adjacent_safety(file: &SourceFile, line: usize) -> bool {
+    if file
+        .lines
+        .get(line - 1)
+        .is_some_and(|l| comment_argues_safety(&l.comment))
+    {
+        return true;
+    }
+    let mut idx = line - 1; // 0-based index of the `unsafe` line itself
+    while idx > 0 {
+        idx -= 1;
+        let l = &file.lines[idx];
+        if comment_argues_safety(&l.comment) {
+            return true;
+        }
+        let code = l.code.trim();
+        if !(code.is_empty() || code.starts_with('#')) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Rule `unsafe-safety`: every `unsafe` occurrence (block, fn, impl) in
+/// non-test library/binary code needs an adjacent safety argument — a
+/// `// SAFETY:` comment on the same line or directly above it, or a
+/// `/// # Safety` doc section on the item. Benches and tests are exempt
+/// (matching the other code-shape rules); the SIMD kernels are the workspace's
+/// sanctioned `unsafe` surface and model the expected form.
+fn unsafe_safety(file: &SourceFile, out: &mut Vec<(Finding, bool)>) {
+    if !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+        return;
+    }
+    let mut last_line = 0usize;
+    for tok in &file.tokens {
+        if !tok.ident || tok.text != "unsafe" || tok.line == last_line {
+            continue;
+        }
+        if file.test_line(tok.line) {
+            continue;
+        }
+        last_line = tok.line;
+        if has_adjacent_safety(file, tok.line) {
+            continue;
+        }
+        push(
+            out,
+            file,
+            "unsafe-safety",
+            tok.line,
+            "`unsafe` without an adjacent safety argument; add a `// SAFETY:` comment \
+             (or a `/// # Safety` doc section) stating the invariant that makes this sound"
+                .to_string(),
         );
     }
 }

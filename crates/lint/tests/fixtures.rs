@@ -299,6 +299,99 @@ pub fn f(path: &std::path::Path) -> String {
     assert!(report.clean(), "unexpected findings: {:?}", report.findings);
 }
 
+// ----------------------------------------------------------------- unsafe-safety
+
+#[test]
+fn unsafe_safety_fires_on_bare_unsafe_block_and_fn() {
+    let src = "
+pub fn f(xs: &[f64]) -> f64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+pub unsafe fn g(p: *const f64) -> f64 {
+    *p
+}
+";
+    let report = lint_one("crates/decoder/src/lib.rs", src);
+    assert_eq!(rules_fired(&report), vec!["unsafe-safety", "unsafe-safety"]);
+    assert_eq!(report.findings[0].line, 3);
+    assert_eq!(report.findings[1].line, 5);
+}
+
+#[test]
+fn unsafe_safety_satisfied_by_adjacent_comment_or_doc_section() {
+    let src = "
+pub fn f(xs: &[f64]) -> f64 {
+    // SAFETY: caller guarantees xs is non-empty (checked at construction).
+    unsafe { *xs.get_unchecked(0) }
+}
+/// Reads through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads and properly aligned.
+#[inline]
+pub unsafe fn g(p: *const f64) -> f64 {
+    *p
+}
+pub fn h(p: *const f64) -> f64 {
+    let v = unsafe { *p }; // SAFETY: p validated by the dispatch above
+    v
+}
+";
+    let report = lint_one("crates/decoder/src/lib.rs", src);
+    assert!(report.clean(), "unexpected findings: {:?}", report.findings);
+}
+
+#[test]
+fn unsafe_safety_suppressed_by_allow_annotation() {
+    let src = "
+pub fn f(xs: &[f64]) -> f64 {
+    // cyclone-lint: allow(unsafe-safety) -- soundness argued in the module docs
+    unsafe { *xs.get_unchecked(0) }
+}
+";
+    let report = lint_one("crates/decoder/src/lib.rs", src);
+    assert!(report.clean(), "unexpected findings: {:?}", report.findings);
+    assert_eq!(report.suppressions_used, 1);
+}
+
+#[test]
+fn unsafe_safety_exempt_in_tests_and_benches() {
+    let src = "
+pub fn f(p: *const f64) -> f64 {
+    unsafe { *p }
+}
+";
+    let report = lint_one("crates/bench/benches/decoder_hotpath.rs", src);
+    assert!(report.clean(), "unexpected findings: {:?}", report.findings);
+    let src_test = "
+#[cfg(test)]
+mod tests {
+    pub fn f(p: *const f64) -> f64 {
+        unsafe { *p }
+    }
+}
+";
+    let report = lint_one("crates/decoder/src/lib.rs", src_test);
+    assert!(report.clean(), "unexpected findings: {:?}", report.findings);
+}
+
+#[test]
+fn unsafe_safety_comment_does_not_leak_past_code_lines() {
+    // A SAFETY comment separated from the unsafe block by a real code line does
+    // not cover it.
+    let src = "
+pub fn f(xs: &[f64]) -> f64 {
+    // SAFETY: this comment belongs to the length check, not the unsafe block.
+    let n = xs.len();
+    assert!(n > 0);
+    unsafe { *xs.get_unchecked(0) }
+}
+";
+    let report = lint_one("crates/decoder/src/lib.rs", src);
+    assert_eq!(rules_fired(&report), vec!["unsafe-safety"]);
+}
+
 // -------------------------------------------------------------------- annotation
 
 #[test]
